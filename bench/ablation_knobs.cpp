@@ -1,0 +1,56 @@
+// Ablation of the design choices DESIGN.md calls out (not in the paper):
+//   * leader fast path on/off — the §4.1 optimization that skips the
+//     prepare phase for the first claimant;
+//   * combination on/off — CP with promotion only;
+//   * promotion cap — 0 turns CP into basic-plus-combination; the paper
+//     effectively uses an unlimited cap.
+#include "experiment_common.h"
+
+using namespace paxoscp;
+
+int main() {
+  workload::PrintExperimentHeader(
+      "Ablation - leader fast path / combination / promotion cap "
+      "(VVV, 100 attrs, 500 txns)",
+      "repo-specific ablation; not a paper figure");
+
+  std::vector<std::vector<std::string>> rows;
+  auto run = [&rows](const std::string& label, txn::ClientOptions options) {
+    workload::RunnerConfig config =
+        bench::PaperWorkload(options.protocol);
+    config.client = options;
+    workload::RunStats stats =
+        workload::RunExperiment(bench::PaperCluster("VVV"), config);
+    rows.push_back(bench::ResultRow(label, options.protocol, stats));
+  };
+
+  txn::ClientOptions base;
+  base.protocol = txn::Protocol::kPaxosCP;
+
+  run("cp/default", base);
+
+  txn::ClientOptions no_leader = base;
+  no_leader.leader_optimization = false;
+  run("cp/no-leader-opt", no_leader);
+
+  txn::ClientOptions no_combine = base;
+  no_combine.combine.enabled = false;
+  run("cp/no-combination", no_combine);
+
+  for (int cap : {0, 1, 2, 7}) {
+    txn::ClientOptions capped = base;
+    capped.promotion_cap = cap;
+    run("cp/promotion-cap=" + std::to_string(cap), capped);
+  }
+
+  txn::ClientOptions basic;
+  basic.protocol = txn::Protocol::kBasicPaxos;
+  run("basic/default", basic);
+
+  txn::ClientOptions basic_no_leader = basic;
+  basic_no_leader.leader_optimization = false;
+  run("basic/no-leader-opt", basic_no_leader);
+
+  workload::PrintTable(bench::ResultHeaders("configuration"), rows);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared harness for the figure-reproduction benches: the paper's standard
+// workload (§6) — 500 transactions, 10 ops each, 50/50 read-write over a
+// single row, 4 concurrent staggered threads at 1 txn/s each — plus row
+// formatting used by every fig*/table* binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "workload/generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace paxoscp::bench {
+
+/// The paper's standard experiment configuration.
+inline workload::RunnerConfig PaperWorkload(txn::Protocol protocol,
+                                            uint64_t seed = 7) {
+  workload::RunnerConfig config;
+  config.workload.num_attributes = 100;
+  config.workload.ops_per_txn = 10;
+  config.workload.read_fraction = 0.5;
+  config.total_txns = 500;
+  config.num_threads = 4;
+  config.stagger = 250 * kMillisecond;
+  config.target_rate_tps = 1.0;
+  config.client.protocol = protocol;
+  config.seed = seed;
+  return config;
+}
+
+inline core::ClusterConfig PaperCluster(const std::string& code,
+                                        uint64_t seed = 11) {
+  core::ClusterConfig config = *core::ClusterConfig::FromCode(code);
+  config.seed = seed;
+  return config;
+}
+
+/// One row of a results table for a single run.
+inline std::vector<std::string> ResultRow(const std::string& label,
+                                          const txn::Protocol protocol,
+                                          const workload::RunStats& stats) {
+  return {
+      label,
+      txn::ProtocolName(protocol),
+      std::to_string(stats.committed),
+      std::to_string(stats.aborted),
+      workload::CommitsByRound(stats),
+      workload::FormatDouble(stats.MeanLatencyMs(0), 0) + " ms",
+      workload::FormatDouble(stats.MeanLatencyMs(), 0) + " ms",
+      std::to_string(stats.combined_entries),
+      workload::FormatDouble(stats.messages_per_attempt, 1),
+      stats.check.ok ? "OK" : "VIOLATED",
+  };
+}
+
+inline std::vector<std::string> ResultHeaders(const std::string& first) {
+  return {first,        "protocol", "commits", "aborts",
+          "by-round",   "lat(r0)",  "lat(all)", "combined",
+          "msgs/txn",   "serializability"};
+}
+
+}  // namespace paxoscp::bench

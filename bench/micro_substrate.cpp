@@ -1,0 +1,216 @@
+// Microbenchmarks of the substrates (google-benchmark): the multi-version
+// store's three atomic operations, the log-entry codec, the conflict /
+// combination machinery, the simulator's event throughput, and a full
+// end-to-end commit (virtual-time protocol run, measured in wall time).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "kvstore/store.h"
+#include "paxos/value_selection.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+#include "wal/log_entry.h"
+#include "workload/generator.h"
+
+namespace paxoscp {
+namespace {
+
+// ---------------------------------------------------------------- kvstore
+
+void BM_StoreWrite(benchmark::State& state) {
+  kvstore::MultiVersionStore store;
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Write("row" + std::to_string(i % 64), {{"a", "value"}}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreWrite);
+
+void BM_StoreReadSnapshot(benchmark::State& state) {
+  kvstore::MultiVersionStore store;
+  for (Timestamp ts = 1; ts <= state.range(0); ++ts) {
+    (void)store.Write("row", {{"a", std::to_string(ts)}}, ts);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const Timestamp ts = 1 + static_cast<Timestamp>(
+                                 rng.Uniform(state.range(0)));
+    benchmark::DoNotOptimize(store.Read("row", ts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreReadSnapshot)->Arg(8)->Arg(128)->Arg(2048);
+
+void BM_StoreCheckAndWrite(benchmark::State& state) {
+  kvstore::MultiVersionStore store;
+  (void)store.Write("row", {{"counter", "0"}});
+  int64_t value = 0;
+  for (auto _ : state) {
+    Status s = store.CheckAndWrite("row", "counter", std::to_string(value),
+                                   {{"counter", std::to_string(value + 1)}});
+    benchmark::DoNotOptimize(s);
+    ++value;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreCheckAndWrite);
+
+// ------------------------------------------------------------- log codec
+
+wal::LogEntry MakeEntry(int txns, int ops) {
+  Rng rng(7);
+  wal::LogEntry entry;
+  entry.winner_dc = 1;
+  for (int t = 0; t < txns; ++t) {
+    wal::TxnRecord record;
+    record.id = MakeTxnId(1, t + 1);
+    record.origin_dc = 1;
+    record.read_pos = 41;
+    for (int i = 0; i < ops / 2; ++i) {
+      record.reads.push_back(wal::ReadRecord{
+          {"row", "a" + std::to_string(rng.Uniform(100))}, MakeTxnId(2, 9),
+          40});
+    }
+    for (int i = 0; i < ops / 2; ++i) {
+      record.writes.push_back(wal::WriteRecord{
+          {"row", "a" + std::to_string(rng.Uniform(100))},
+          "sixteen-byte-val"});
+    }
+    entry.txns.push_back(std::move(record));
+  }
+  return entry;
+}
+
+void BM_LogEntryEncode(benchmark::State& state) {
+  const wal::LogEntry entry =
+      MakeEntry(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entry.Encode());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(entry.Encode().size()));
+}
+BENCHMARK(BM_LogEntryEncode)->Arg(1)->Arg(4);
+
+void BM_LogEntryDecode(benchmark::State& state) {
+  const std::string encoded =
+      MakeEntry(static_cast<int>(state.range(0)), 10).Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal::LogEntry::Decode(encoded));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+}
+BENCHMARK(BM_LogEntryDecode)->Arg(1)->Arg(4);
+
+void BM_LogEntryFingerprint(benchmark::State& state) {
+  const wal::LogEntry entry = MakeEntry(2, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entry.Fingerprint());
+  }
+}
+BENCHMARK(BM_LogEntryFingerprint);
+
+// --------------------------------------------------- conflict/combination
+
+void BM_PromotionConflictCheck(benchmark::State& state) {
+  const wal::LogEntry winners = MakeEntry(3, 10);
+  const wal::LogEntry own = MakeEntry(1, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(winners.WritesItemReadBy(own.txns.front()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromotionConflictCheck);
+
+void BM_CombineExhaustive(benchmark::State& state) {
+  const wal::LogEntry own = MakeEntry(1, 10);
+  std::vector<wal::TxnRecord> candidates;
+  for (int i = 0; i < state.range(0); ++i) {
+    wal::LogEntry e = MakeEntry(1, 10);
+    e.txns[0].id = MakeTxnId(2, 100 + i);
+    candidates.push_back(e.txns[0]);
+  }
+  paxos::CombinePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        paxos::CombineTransactions(own, candidates, policy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CombineExhaustive)->Arg(2)->Arg(4);
+
+void BM_CombineGreedy(benchmark::State& state) {
+  const wal::LogEntry own = MakeEntry(1, 10);
+  std::vector<wal::TxnRecord> candidates;
+  for (int i = 0; i < 16; ++i) {  // above the exhaustive limit
+    wal::LogEntry e = MakeEntry(1, 10);
+    e.txns[0].id = MakeTxnId(2, 100 + i);
+    candidates.push_back(e.txns[0]);
+  }
+  paxos::CombinePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        paxos::CombineTransactions(own, candidates, policy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CombineGreedy);
+
+// -------------------------------------------------------------- simulator
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i, [&counter] { ++counter; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+// ----------------------------------------------------- end-to-end commit
+
+sim::Task CommitOne(txn::TransactionClient* client, std::string value,
+                    bool* done) {
+  (void)co_await client->Begin("g");
+  (void)co_await client->Read("g", "r", "a0");
+  (void)client->Write("g", "r", "a1", value);
+  (void)co_await client->Commit("g");
+  *done = true;
+}
+
+void BM_EndToEndCommit(benchmark::State& state) {
+  // Wall-clock cost of simulating one full commit (protocol messages,
+  // acceptor state machine, log apply) on a three-replica cluster.
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
+    config.seed = 5;
+    core::Cluster cluster(config);
+    (void)cluster.LoadInitialRow("g", "r", {{"a0", "x"}, {"a1", "y"}});
+    txn::TransactionClient* client =
+        cluster.CreateClient(0, txn::ClientOptions{});
+    bool done = false;
+    state.ResumeTiming();
+
+    CommitOne(client, "value", &done);
+    cluster.RunToCompletion();
+    if (!done) state.SkipWithError("commit did not complete");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndCommit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace paxoscp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Side-by-side demonstration of the paper's core claim: basic Paxos is a
+// concurrency *prevention* mechanism (one commit per log position, no
+// matter what the transactions touch), while Paxos-CP achieves true
+// concurrency control (only genuine read-write conflicts abort).
+//
+// Two clients repeatedly update *disjoint* attributes of the same entity
+// group; a third reads an attribute the first one writes, creating real
+// conflicts only for it.
+//
+//   ./build/examples/contention_demo
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+
+using namespace paxoscp;
+
+namespace {
+
+struct Tally {
+  int committed = 0;
+  int aborted = 0;
+};
+
+sim::Task DisjointWriter(core::Cluster* cluster,
+                         txn::TransactionClient* client, std::string attr,
+                         Tally* tally) {
+  sim::Simulator* sim = cluster->simulator();
+  for (int i = 0; i < 20; ++i) {
+    co_await sim::SleepFor(sim, 150 * kMillisecond);
+    if (!(co_await client->Begin("g")).ok()) continue;
+    // Read our own attribute (no cross-client read-write conflict).
+    (void)co_await client->Read("g", "r", attr);
+    (void)client->Write("g", "r", attr, std::to_string(i));
+    txn::CommitResult commit = co_await client->Commit("g");
+    (commit.committed ? tally->committed : tally->aborted)++;
+  }
+}
+
+sim::Task ConflictingReader(core::Cluster* cluster,
+                            txn::TransactionClient* client, Tally* tally) {
+  sim::Simulator* sim = cluster->simulator();
+  for (int i = 0; i < 20; ++i) {
+    co_await sim::SleepFor(sim, 150 * kMillisecond);
+    if (!(co_await client->Begin("g")).ok()) continue;
+    // Reads "a" (written by client 1) then writes "c": a true read-write
+    // conflict whenever client 1 wins an intervening log position.
+    (void)co_await client->Read("g", "r", "a");
+    (void)client->Write("g", "r", "c", std::to_string(i));
+    txn::CommitResult commit = co_await client->Commit("g");
+    (commit.committed ? tally->committed : tally->aborted)++;
+  }
+}
+
+void RunOnce(txn::Protocol protocol) {
+  core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
+  config.seed = 31;
+  core::Cluster cluster(config);
+  (void)cluster.LoadInitialRow("g", "r",
+                               {{"a", "0"}, {"b", "0"}, {"c", "0"}});
+  txn::ClientOptions options;
+  options.protocol = protocol;
+
+  Tally writer_a, writer_b, reader;
+  DisjointWriter(&cluster, cluster.CreateClient(0, options), "a", &writer_a);
+  DisjointWriter(&cluster, cluster.CreateClient(1, options), "b", &writer_b);
+  ConflictingReader(&cluster, cluster.CreateClient(2, options), &reader);
+  cluster.RunToCompletion();
+
+  std::printf("%-9s | writer(a): %2d/%2d  writer(b): %2d/%2d  "
+              "conflicting reader: %2d/%2d\n",
+              txn::ProtocolName(protocol), writer_a.committed,
+              writer_a.committed + writer_a.aborted, writer_b.committed,
+              writer_b.committed + writer_b.aborted, reader.committed,
+              reader.committed + reader.aborted);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two disjoint writers + one conflicting reader, 20 txns each "
+              "(committed/attempted):\n\n");
+  RunOnce(txn::Protocol::kBasicPaxos);
+  RunOnce(txn::Protocol::kPaxosCP);
+  std::printf(
+      "\nUnder basic Paxos the disjoint writers abort each other (pure log\n"
+      "position contention); under Paxos-CP they both commit via promotion\n"
+      "or combination, and only genuinely conflicting transactions abort.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Availability demonstration (the paper's motivation, §1): a workload keeps
+// committing while an entire datacenter is down, because any majority of
+// replicas can decide log positions; when the datacenter recovers, its
+// Transaction Service learns the missed log entries via catch-up Paxos
+// instances and serves consistent reads again.
+//
+//   ./build/examples/outage_failover
+#include <cstdio>
+
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+
+using namespace paxoscp;
+
+namespace {
+
+sim::Task WriteLoop(core::Cluster* cluster, txn::TransactionClient* client,
+                    int txns, int* committed) {
+  sim::Simulator* sim = cluster->simulator();
+  for (int i = 0; i < txns; ++i) {
+    co_await sim::SleepFor(sim, 500 * kMillisecond);
+    if (!(co_await client->Begin("g")).ok()) continue;
+    (void)client->Write("g", "r", "seq", std::to_string(i));
+    txn::CommitResult commit = co_await client->Commit("g");
+    if (commit.committed) ++*committed;
+    std::printf("  t=%5.1fs txn %2d -> %s\n",
+                sim->Now() / 1e6, i, commit.status.ToString().c_str());
+  }
+}
+
+sim::Task ReadSeq(txn::TransactionClient* client, std::string* out) {
+  *out = "<unavailable>";
+  if (!(co_await client->Begin("g")).ok()) co_return;
+  Result<std::string> value = co_await client->Read("g", "r", "seq");
+  (void)co_await client->Commit("g");
+  if (value.ok()) *out = *value;
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
+  config.seed = 7;
+  core::Cluster cluster(config);
+  (void)cluster.LoadInitialRow("g", "r", {{"seq", "-1"}});
+
+  txn::TransactionClient* client = cluster.CreateClient(0, {});
+
+  std::printf("phase 1: all datacenters up\n");
+  std::printf("phase 2: datacenter 2 goes down at t=2.2s, back at t=6.2s\n");
+  cluster.simulator()->ScheduleAt(2200 * kMillisecond, [&cluster] {
+    std::printf("  *** datacenter 2 OFFLINE ***\n");
+    cluster.SetDatacenterDown(2, true);
+  });
+  cluster.simulator()->ScheduleAt(6200 * kMillisecond, [&cluster] {
+    std::printf("  *** datacenter 2 BACK ONLINE ***\n");
+    cluster.SetDatacenterDown(2, false);
+  });
+
+  int committed = 0;
+  WriteLoop(&cluster, client, 12, &committed);
+  cluster.RunToCompletion();
+  std::printf("committed %d/12 transactions across the outage\n", committed);
+
+  // The log at the recovered datacenter was left behind during the outage;
+  // a read triggers catch-up and returns the latest committed value.
+  const LogPos behind = cluster.service(2)->GroupLog("g")->MaxDecided();
+  const LogPos ahead = cluster.service(0)->GroupLog("g")->MaxDecided();
+  std::printf("log positions before catch-up: dc0=%llu dc2=%llu\n",
+              static_cast<unsigned long long>(ahead),
+              static_cast<unsigned long long>(behind));
+
+  std::string seq;
+  ReadSeq(cluster.CreateClient(2, {}), &seq);
+  cluster.RunToCompletion();
+  std::printf("read from recovered dc2: seq=%s (learn instances run: %llu)\n",
+              seq.c_str(),
+              static_cast<unsigned long long>(
+                  cluster.service(2)->learn_instances()));
+
+  core::Checker checker(&cluster);
+  core::CheckReport report = checker.CheckAll("g", {});
+  std::printf("invariants: %s\n", report.ToString().c_str());
+  return (committed > 0 && report.ok) ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Quickstart: bring up a three-datacenter cluster, run a read-modify-write
+// transaction through the Paxos-CP commit protocol, and read the result
+// back from a different datacenter.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+
+using namespace paxoscp;
+
+namespace {
+
+// Application logic runs as simulation tasks (each models one application
+// instance thread in the paper's application platform).
+sim::Task Transfer(txn::TransactionClient* client, bool* done) {
+  // begin(): fetches the read position from the local Transaction Service.
+  Status begin = co_await client->Begin("accounts");
+  if (!begin.ok()) co_return;
+
+  // Snapshot reads at the read position.
+  Result<std::string> alice = co_await client->Read("accounts", "row", "alice");
+  Result<std::string> bob = co_await client->Read("accounts", "row", "bob");
+  if (!alice.ok() || !bob.ok()) co_return;
+  const int a = std::stoi(*alice), b = std::stoi(*bob);
+  std::printf("[txn] read alice=%d bob=%d\n", a, b);
+
+  // Buffered writes; replicated on commit via Paxos-CP.
+  (void)client->Write("accounts", "row", "alice", std::to_string(a - 30));
+  (void)client->Write("accounts", "row", "bob", std::to_string(b + 30));
+
+  txn::CommitResult commit = co_await client->Commit("accounts");
+  std::printf("[txn] commit: %s (log position %llu, %d promotions)\n",
+              commit.status.ToString().c_str(),
+              static_cast<unsigned long long>(commit.position),
+              commit.promotions);
+  *done = commit.committed;
+}
+
+sim::Task ReadBack(txn::TransactionClient* client) {
+  (void)co_await client->Begin("accounts");
+  Result<std::string> alice = co_await client->Read("accounts", "row", "alice");
+  Result<std::string> bob = co_await client->Read("accounts", "row", "bob");
+  (void)co_await client->Commit("accounts");  // read-only: free
+  std::printf("[remote] alice=%s bob=%s (read from another datacenter)\n",
+              alice.ok() ? alice->c_str() : "?",
+              bob.ok() ? bob->c_str() : "?");
+}
+
+}  // namespace
+
+int main() {
+  // Three Virginia datacenters (paper §6: ~1.5 ms RTT between availability
+  // zones); everything is simulated and deterministic.
+  core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
+  config.seed = 2026;
+  core::Cluster cluster(config);
+
+  // Pre-load the entity group ("accounts") with one row.
+  (void)cluster.LoadInitialRow("accounts", "row",
+                               {{"alice", "100"}, {"bob", "50"}});
+
+  txn::ClientOptions options;  // defaults: Paxos-CP, 2 s timeouts
+  txn::TransactionClient* writer = cluster.CreateClient(/*dc=*/0, options);
+  txn::TransactionClient* reader = cluster.CreateClient(/*dc=*/2, options);
+
+  bool committed = false;
+  Transfer(writer, &committed);
+  cluster.RunToCompletion();
+  if (!committed) {
+    std::printf("transfer did not commit\n");
+    return 1;
+  }
+
+  ReadBack(reader);
+  cluster.RunToCompletion();
+
+  // Verify the run satisfied every correctness obligation of the paper.
+  core::Checker checker(&cluster);
+  core::CheckReport report = checker.CheckAll("accounts", {});
+  std::printf("invariants: %s\n", report.ToString().c_str());
+  return report.ok ? 0 : 1;
+}

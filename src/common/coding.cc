@@ -1,0 +1,113 @@
+#include "common/coding.h"
+
+namespace paxoscp {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  *value = v;
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  *value = v;
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(input->front());
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // ran out of input or > 10 bytes
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+void PutVarsint64(std::string* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode(value));
+}
+
+bool GetVarsint64(std::string_view* input, int64_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v)) return false;
+  *value = ZigZagDecode(v);
+  return true;
+}
+
+uint64_t Fingerprint64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace paxoscp

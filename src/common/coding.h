@@ -1,0 +1,40 @@
+// Binary encoding helpers (varint / fixed / length-prefixed), used by the
+// write-ahead-log codec and message serialization. Follows the RocksDB
+// coding.h style: Put* appends to a std::string, Get* consumes from a
+// string_view and returns false on underflow or malformed input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paxoscp {
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends a varint length followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// ZigZag transform so small negative numbers encode compactly as varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutVarsint64(std::string* dst, int64_t value);
+bool GetVarsint64(std::string_view* input, int64_t* value);
+
+/// 64-bit FNV-1a over a byte string; used for log-entry fingerprints.
+uint64_t Fingerprint64(std::string_view data);
+
+}  // namespace paxoscp

@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace paxoscp {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  // Buckets grow geometrically: bucket i covers (limit(i-1), limit(i)].
+  int i = 0;
+  while (i < kNumBuckets - 1 && BucketLimit(i) < value) ++i;
+  return i;
+}
+
+int64_t Histogram::BucketLimit(int i) {
+  // 1, 2, 3, 4, 6, 8, 12, 16, ... : powers of two interleaved with 1.5x
+  // values, giving ~2 buckets per octave up to ~5e18.
+  static const std::vector<int64_t>& kLimits = [] {
+    static std::vector<int64_t> limits;
+    int64_t v = 1;
+    while (static_cast<int>(limits.size()) < kNumBuckets) {
+      limits.push_back(v);
+      int64_t mid = v + v / 2;
+      if (mid > v && static_cast<int>(limits.size()) < kNumBuckets) {
+        limits.push_back(mid);
+      }
+      if (v > std::numeric_limits<int64_t>::max() / 2) {
+        while (static_cast<int>(limits.size()) < kNumBuckets) {
+          limits.push_back(std::numeric_limits<int64_t>::max());
+        }
+        break;
+      }
+      v *= 2;
+    }
+    return limits;
+  }();
+  return kLimits[i];
+}
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  sum_squares_ += static_cast<double>(value) * static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      // Linear interpolation inside the bucket.
+      const double left = cumulative - static_cast<double>(buckets_[i]);
+      const int64_t lo = i == 0 ? 0 : BucketLimit(i - 1);
+      const int64_t hi = BucketLimit(i);
+      const double frac =
+          buckets_[i] == 0
+              ? 0
+              : (threshold - left) / static_cast<double>(buckets_[i]);
+      double r = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      r = std::min(r, static_cast<double>(max_));
+      r = std::max(r, static_cast<double>(min()));
+      return r;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0;
+  const double n = static_cast<double>(count_);
+  const double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance <= 0 ? 0 : std::sqrt(variance);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99)
+     << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace paxoscp

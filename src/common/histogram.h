@@ -1,0 +1,46 @@
+// Log-bucketed latency histogram (RocksDB HistogramImpl style): constant
+// memory, approximate percentiles, exact count/mean/min/max.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paxoscp {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double Mean() const;
+  /// Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+  double StdDev() const;
+
+  /// One-line summary: count, mean, p50/p95/p99, max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 128;
+  /// Index of the bucket whose upper bound is the smallest >= value.
+  static int BucketFor(int64_t value);
+  /// Upper bound of bucket i.
+  static int64_t BucketLimit(int i);
+
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+  double sum_squares_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace paxoscp

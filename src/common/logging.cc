@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace paxoscp {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load()) &&
+         level != LogLevel::kOff;
+}
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (!LogEnabled(level)) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace paxoscp

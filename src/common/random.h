@@ -1,0 +1,63 @@
+// Deterministic, seedable random number generation. Every source of
+// randomness in the simulator (latency jitter, message loss, workload
+// generation, backoff) draws from an explicitly seeded Rng so that whole
+// experiments replay bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paxoscp {
+
+/// xoshiro256** seeded via SplitMix64. Not cryptographic; fast and well
+/// distributed, which is all a simulator needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Forks an independent stream; deterministic given this Rng's state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, using the
+/// Gray/YCSB rejection-free construction. theta in (0, 1); larger theta is
+/// more skewed. Used by the workload generator's skewed access mode.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace paxoscp

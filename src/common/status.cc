@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+#include "common/types.h"
+
+namespace paxoscp {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kConflict:
+      return "Conflict";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::string TxnIdToString(TxnId id) {
+  return std::to_string(TxnIdDc(id)) + "." + std::to_string(TxnIdSeq(id));
+}
+
+}  // namespace paxoscp

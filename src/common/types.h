@@ -1,0 +1,55 @@
+// Core identifier and time types shared by every paxoscp module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace paxoscp {
+
+/// Identifier of a datacenter (index into the cluster's datacenter list).
+using DcId = int32_t;
+
+/// Sentinel for "no datacenter".
+inline constexpr DcId kNoDc = -1;
+
+/// Globally unique transaction identifier. The high 16 bits carry the
+/// originating datacenter, the low 48 bits a per-client sequence number.
+using TxnId = uint64_t;
+
+/// Position in a transaction group's write-ahead log. Positions start at 1;
+/// position 0 means "empty log".
+using LogPos = uint64_t;
+
+/// Logical timestamp used by the multi-version key-value store. The
+/// transaction tier uses the commit log position as the write timestamp.
+using Timestamp = int64_t;
+
+/// Sentinel timestamp meaning "latest version" on reads and "auto-assign a
+/// timestamp greater than all existing versions" on writes.
+inline constexpr Timestamp kLatestTimestamp = -1;
+
+/// Simulated time in microseconds since the start of the run.
+using TimeMicros = int64_t;
+
+inline constexpr TimeMicros kMicrosecond = 1;
+inline constexpr TimeMicros kMillisecond = 1000;
+inline constexpr TimeMicros kSecond = 1000 * 1000;
+
+/// Builds a TxnId from an originating datacenter and a local sequence number.
+constexpr TxnId MakeTxnId(DcId dc, uint64_t seq) {
+  return (static_cast<TxnId>(static_cast<uint16_t>(dc)) << 48) |
+         (seq & ((uint64_t{1} << 48) - 1));
+}
+
+/// Extracts the originating datacenter from a TxnId.
+constexpr DcId TxnIdDc(TxnId id) { return static_cast<DcId>(id >> 48); }
+
+/// Extracts the per-client sequence number from a TxnId.
+constexpr uint64_t TxnIdSeq(TxnId id) {
+  return id & ((uint64_t{1} << 48) - 1);
+}
+
+/// Human-readable rendering of a TxnId as "dc.seq".
+std::string TxnIdToString(TxnId id);
+
+}  // namespace paxoscp

@@ -1,0 +1,276 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace paxoscp::core {
+
+void CheckReport::Violation(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+std::string CheckReport::ToString() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATIONS") << " (log through " << max_position << ", "
+     << committed_txns_in_log << " committed txns, " << combined_entries
+     << " combined entries)";
+  for (const std::string& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+CheckReport Checker::CheckReplication(
+    const std::string& group, std::map<LogPos, wal::LogEntry>* global_log) {
+  CheckReport report;
+  global_log->clear();
+  std::map<LogPos, uint64_t> fingerprints;
+  for (DcId dc = 0; dc < cluster_->num_datacenters(); ++dc) {
+    const std::map<LogPos, wal::LogEntry> entries =
+        cluster_->service(dc)->GroupLog(group)->AllEntries();
+    for (const auto& [pos, entry] : entries) {
+      const uint64_t fp = entry.Fingerprint();
+      auto it = fingerprints.find(pos);
+      if (it == fingerprints.end()) {
+        fingerprints.emplace(pos, fp);
+        global_log->emplace(pos, entry);
+      } else if (it->second != fp) {
+        report.Violation("(R1) datacenter " + std::to_string(dc) +
+                         " disagrees on log position " + std::to_string(pos));
+      }
+    }
+  }
+  // Contiguity: positions are contested strictly in order (commit position
+  // = read position + 1; promotion only advances past decided positions),
+  // so the merged log must have no gaps.
+  LogPos expected = 1;
+  for (const auto& [pos, entry] : *global_log) {
+    if (pos != expected) {
+      report.Violation("log gap: expected position " +
+                       std::to_string(expected) + ", found " +
+                       std::to_string(pos));
+    }
+    expected = pos + 1;
+  }
+  report.max_position =
+      global_log->empty() ? 0 : global_log->rbegin()->first;
+  for (const auto& [pos, entry] : *global_log) {
+    report.committed_txns_in_log += static_cast<int>(entry.txns.size());
+    if (entry.txns.size() > 1) {
+      report.combined_entries++;
+      report.combined_txns += static_cast<int>(entry.txns.size()) - 1;
+    }
+  }
+  return report;
+}
+
+void Checker::CheckOutcomes(const std::map<LogPos, wal::LogEntry>& log,
+                            const std::vector<ClientOutcome>& outcomes,
+                            CheckReport* report) {
+  // Index: txn id -> position(s) in the log.
+  std::map<TxnId, std::vector<LogPos>> where;
+  for (const auto& [pos, entry] : log) {
+    for (const wal::TxnRecord& t : entry.txns) where[t.id].push_back(pos);
+  }
+  std::set<TxnId> known;
+  for (const ClientOutcome& o : outcomes) {
+    known.insert(o.id);
+    const auto it = where.find(o.id);
+    const int appearances =
+        it == where.end() ? 0 : static_cast<int>(it->second.size());
+    if (appearances > 1) {
+      report->Violation("(L2) txn " + TxnIdToString(o.id) + " appears in " +
+                        std::to_string(appearances) + " log positions");
+    }
+    if (o.unknown) continue;  // crashed client: either outcome is legal
+    if (o.read_only) {
+      if (appearances != 0) {
+        report->Violation("read-only txn " + TxnIdToString(o.id) +
+                          " appears in the log");
+      }
+      continue;
+    }
+    if (o.committed && appearances == 0) {
+      report->Violation("(L1) committed txn " + TxnIdToString(o.id) +
+                        " missing from the log");
+    }
+    if (!o.committed && appearances != 0) {
+      report->Violation("(L1) aborted txn " + TxnIdToString(o.id) +
+                        " present in the log at position " +
+                        std::to_string(it->second.front()));
+    }
+    if (o.committed && appearances == 1 && o.position != 0 &&
+        it->second.front() != o.position) {
+      report->Violation("txn " + TxnIdToString(o.id) +
+                        " reported position " + std::to_string(o.position) +
+                        " but is at " + std::to_string(it->second.front()));
+    }
+  }
+  // Transactions in the log but never reported by any client are fine only
+  // if the harness passed an incomplete outcome list; flag duplicates
+  // within single entries regardless.
+  for (const auto& [pos, entry] : log) {
+    std::set<TxnId> in_entry;
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (!in_entry.insert(t.id).second) {
+        report->Violation("txn " + TxnIdToString(t.id) +
+                          " duplicated within log position " +
+                          std::to_string(pos));
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Replay state per item: who wrote it last (serially) and where.
+struct LastWrite {
+  TxnId writer = 0;
+  LogPos pos = 0;
+};
+
+}  // namespace
+
+void Checker::CheckOneCopySerializability(
+    const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
+  // Serial order S: entries by position, transactions within an entry in
+  // list order. For each transaction, every read must have observed the
+  // latest write to that item preceding the transaction in S — that is the
+  // reads-x-from equivalence of Definition 1.
+  std::map<wal::ItemId, LastWrite> state;
+  for (const auto& [pos, entry] : log) {
+    for (const wal::TxnRecord& t : entry.txns) {
+      for (const wal::ReadRecord& r : t.reads) {
+        LastWrite expected;  // initial state: writer 0 at position 0
+        auto it = state.find(r.item);
+        if (it != state.end()) expected = it->second;
+        if (r.observed_writer != expected.writer ||
+            r.observed_pos != expected.pos) {
+          report->Violation(
+              "(L3) txn " + TxnIdToString(t.id) + " at position " +
+              std::to_string(pos) + " read " + r.item.ToString() +
+              " from txn " + TxnIdToString(r.observed_writer) + "@" +
+              std::to_string(r.observed_pos) + " but serial order expects " +
+              TxnIdToString(expected.writer) + "@" +
+              std::to_string(expected.pos));
+        }
+      }
+      for (const wal::WriteRecord& w : t.writes) {
+        state[w.item] = LastWrite{t.id, pos};
+      }
+    }
+  }
+}
+
+void Checker::CheckSerializationGraph(
+    const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
+  // Build the MVSG over committed transactions. Version order per item is
+  // the serial apply order. Edges:
+  //   WW: each writer -> the next writer of the same item;
+  //   WR: writer -> each reader of its version;
+  //   RW: each reader of a version -> the writer of the next version.
+  // One-copy serializability of the log implies this graph, with nodes in
+  // log order, is acyclic.
+  struct VersionInfo {
+    TxnId writer;
+    std::vector<TxnId> readers;
+  };
+  std::map<wal::ItemId, std::vector<VersionInfo>> versions;
+  std::vector<TxnId> order;
+  std::map<TxnId, size_t> index;
+
+  for (const auto& [pos, entry] : log) {
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (index.count(t.id) > 0) continue;  // duplicate flagged elsewhere
+      index[t.id] = order.size();
+      order.push_back(t.id);
+      for (const wal::ReadRecord& r : t.reads) {
+        auto& chain = versions[r.item];
+        if (r.observed_writer == 0) {
+          // Initial version: model as a virtual version 0 at the front.
+          if (chain.empty() || chain.front().writer != 0) {
+            chain.insert(chain.begin(), VersionInfo{0, {}});
+          }
+          chain.front().readers.push_back(t.id);
+        } else {
+          bool found = false;
+          for (VersionInfo& v : chain) {
+            if (v.writer == r.observed_writer) {
+              v.readers.push_back(t.id);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            report->Violation("MVSG: txn " + TxnIdToString(t.id) +
+                              " reads version of " + r.item.ToString() +
+                              " written by unknown txn " +
+                              TxnIdToString(r.observed_writer));
+          }
+        }
+      }
+      for (const wal::WriteRecord& w : t.writes) {
+        versions[w.item].push_back(VersionInfo{t.id, {}});
+      }
+    }
+  }
+
+  // Adjacency over txn indices (0 = virtual initial txn gets no node).
+  const size_t n = order.size();
+  std::vector<std::vector<size_t>> adj(n);
+  auto add_edge = [&](TxnId from, TxnId to) {
+    if (from == 0 || to == 0 || from == to) return;
+    adj[index[from]].push_back(index[to]);
+  };
+  for (const auto& [item, chain] : versions) {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i + 1 < chain.size()) {
+        add_edge(chain[i].writer, chain[i + 1].writer);  // WW
+        for (TxnId reader : chain[i].readers) {
+          add_edge(reader, chain[i + 1].writer);  // RW
+        }
+      }
+      for (TxnId reader : chain[i].readers) {
+        add_edge(chain[i].writer, reader);  // WR
+      }
+    }
+  }
+
+  // Cycle detection via iterative DFS with colors.
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, kWhite);
+  for (size_t start = 0; start < n; ++start) {
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<size_t, size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < adj[node].size()) {
+        const size_t child = adj[node][next++];
+        if (color[child] == kGray) {
+          report->Violation("MVSG cycle involving txn " +
+                            TxnIdToString(order[child]));
+          color[child] = kBlack;  // report once
+        } else if (color[child] == kWhite) {
+          color[child] = kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+CheckReport Checker::CheckAll(const std::string& group,
+                              const std::vector<ClientOutcome>& outcomes) {
+  std::map<LogPos, wal::LogEntry> log;
+  CheckReport report = CheckReplication(group, &log);
+  if (!outcomes.empty()) CheckOutcomes(log, outcomes, &report);
+  CheckOneCopySerializability(log, &report);
+  CheckSerializationGraph(log, &report);
+  return report;
+}
+
+}  // namespace paxoscp::core

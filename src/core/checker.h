@@ -1,0 +1,83 @@
+// Correctness checkers for the replicated log and the executed history.
+//
+// After a run, these validate the paper's correctness obligations (§3):
+//   (R1)     no two datacenter logs disagree on a position;
+//   (L1/L2)  exactly the committed transactions appear in the log, each in
+//            exactly one position;
+//   (L3)     the log is a one-copy serializable history: replaying entries
+//            in log order (transactions within an entry in list order),
+//            every read of every committed transaction observed precisely
+//            the latest preceding write of that item in the serial order;
+//   plus an independent multi-version serialization graph (MVSG) build
+//   whose acyclicity re-confirms one-copy serializability.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/cluster.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp::core {
+
+/// What the test/benchmark harness observed for one transaction attempt,
+/// used to cross-check client-visible outcomes against the log.
+struct ClientOutcome {
+  TxnId id = 0;
+  bool committed = false;
+  bool read_only = false;
+  /// Client-reported commit position (committed read/write txns only).
+  LogPos position = 0;
+  /// True when the client never learned its outcome (crash / unavailable);
+  /// such transactions may legitimately appear in the log or not.
+  bool unknown = false;
+};
+
+struct CheckReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  // Statistics gathered while checking.
+  LogPos max_position = 0;
+  int committed_txns_in_log = 0;
+  int combined_entries = 0;   // entries carrying more than one transaction
+  int combined_txns = 0;      // transactions beyond the first, summed
+
+  void Violation(std::string message);
+  std::string ToString() const;
+};
+
+class Checker {
+ public:
+  explicit Checker(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Runs every check for `group`. `outcomes` may be empty, in which case
+  /// the client-visible cross-checks are skipped.
+  CheckReport CheckAll(const std::string& group,
+                       const std::vector<ClientOutcome>& outcomes);
+
+  /// (R1) + log contiguity. Also merges all replicas' entries into one
+  /// global log (any replica may be missing suffix entries).
+  CheckReport CheckReplication(const std::string& group,
+                               std::map<LogPos, wal::LogEntry>* global_log);
+
+  /// (L1)/(L2) against client outcomes.
+  static void CheckOutcomes(const std::map<LogPos, wal::LogEntry>& log,
+                            const std::vector<ClientOutcome>& outcomes,
+                            CheckReport* report);
+
+  /// (L3): serial replay validating every read's observed provenance.
+  static void CheckOneCopySerializability(
+      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report);
+
+  /// MVSG acyclicity (independent validation path).
+  static void CheckSerializationGraph(
+      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report);
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace paxoscp::core

@@ -1,0 +1,53 @@
+#include "core/cluster.h"
+
+namespace paxoscp::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), seed_rng_(config_.seed) {
+  net::NetworkOptions net_options;
+  net_options.loss_probability = config_.loss_probability;
+  net_options.latency_jitter = config_.latency_jitter;
+  net_options.default_timeout = config_.message_timeout;
+  net_options.seed = NextSeed();
+  network_ = std::make_unique<net::Network>(&simulator_, config_.RttMatrix(),
+                                            net_options);
+  const int d = config_.num_datacenters();
+  stores_.reserve(d);
+  services_.reserve(d);
+  for (DcId dc = 0; dc < d; ++dc) {
+    stores_.push_back(std::make_unique<kvstore::MultiVersionStore>());
+    services_.push_back(std::make_unique<txn::TransactionService>(
+        dc, network_.get(), stores_.back().get(), config_.service_times,
+        NextSeed()));
+    txn::TransactionService* service = services_.back().get();
+    network_->RegisterEndpoint(
+        dc, [service](DcId from, const std::any* request) {
+          return service->Handle(from, request);
+        });
+  }
+}
+
+uint64_t Cluster::NextSeed() { return seed_rng_.Next(); }
+
+txn::TransactionClient* Cluster::CreateClient(
+    DcId dc, const txn::ClientOptions& options) {
+  clients_.push_back(std::make_unique<txn::TransactionClient>(
+      network_.get(), dc, options, next_client_uid_++, NextSeed()));
+  return clients_.back().get();
+}
+
+Status Cluster::LoadInitialRow(
+    const std::string& group, const std::string& row,
+    const std::map<std::string, std::string>& attributes) {
+  for (DcId dc = 0; dc < num_datacenters(); ++dc) {
+    PAXOSCP_RETURN_IF_ERROR(
+        services_[dc]->GroupLog(group)->LoadInitialRow(row, attributes));
+  }
+  return Status::OK();
+}
+
+uint64_t Cluster::RunToCompletion(uint64_t max_events) {
+  return simulator_.Run(max_events);
+}
+
+}  // namespace paxoscp::core

@@ -1,0 +1,69 @@
+// Cluster: owns the simulator, the network, and one key-value store +
+// Transaction Service per datacenter; creates Transaction Clients. This is
+// the top-level object examples and benches instantiate (paper Figure 1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "kvstore/store.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "txn/client.h"
+#include "txn/service.h"
+
+namespace paxoscp::core {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  int num_datacenters() const { return config_.num_datacenters(); }
+
+  sim::Simulator* simulator() { return &simulator_; }
+  net::Network* network() { return network_.get(); }
+  kvstore::MultiVersionStore* store(DcId dc) { return stores_[dc].get(); }
+  txn::TransactionService* service(DcId dc) { return services_[dc].get(); }
+
+  /// Creates a Transaction Client homed at `dc`. The cluster owns it.
+  txn::TransactionClient* CreateClient(DcId dc,
+                                       const txn::ClientOptions& options);
+
+  /// Seeds the same initial data row into every datacenter (position-0
+  /// state, the workload's pre-loaded YCSB row).
+  Status LoadInitialRow(const std::string& group, const std::string& row,
+                        const std::map<std::string, std::string>& attributes);
+
+  /// Runs the simulation until no events remain (all client coroutines
+  /// finished). Returns the number of events executed.
+  uint64_t RunToCompletion(uint64_t max_events = UINT64_MAX);
+
+  // Fault injection passthrough.
+  void SetDatacenterDown(DcId dc, bool down) {
+    network_->SetDatacenterDown(dc, down);
+  }
+  void SetLinkDown(DcId a, DcId b, bool down) {
+    network_->SetLinkDown(a, b, down);
+  }
+
+  /// Fresh RNG seed derived deterministically from the cluster seed.
+  uint64_t NextSeed();
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator simulator_;
+  Rng seed_rng_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<kvstore::MultiVersionStore>> stores_;
+  std::vector<std::unique_ptr<txn::TransactionService>> services_;
+  std::vector<std::unique_ptr<txn::TransactionClient>> clients_;
+  uint32_t next_client_uid_ = 1;
+};
+
+}  // namespace paxoscp::core

@@ -1,0 +1,113 @@
+// Application-facing convenience facade: a Database wraps a
+// TransactionClient with the retry loop real applications write by hand —
+// aborted transactions (the expected outcome of optimistic concurrency
+// control) are re-executed from a fresh snapshot with randomized backoff,
+// exactly the pattern the paper assumes application instances follow.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+
+namespace paxoscp::core {
+
+/// Handle passed to a transaction body: reads/writes one transaction group.
+class TxnHandle {
+ public:
+  TxnHandle(txn::TransactionClient* client, const std::string* group)
+      : client_(client), group_(group) {}
+
+  sim::Coro<Result<std::string>> Read(const std::string& row,
+                                      const std::string& attribute) {
+    co_return co_await client_->Read(*group_, row, attribute);
+  }
+
+  Status Write(const std::string& row, const std::string& attribute,
+               std::string value) {
+    return client_->Write(*group_, row, attribute, std::move(value));
+  }
+
+ private:
+  txn::TransactionClient* client_;
+  const std::string* group_;
+};
+
+/// The transaction body: performs reads/writes through the handle and
+/// returns OK to request a commit or any error to abort the attempt.
+using TxnBody = std::function<sim::Coro<Status>(TxnHandle*)>;
+
+struct RetryOptions {
+  int max_attempts = 8;
+  TimeMicros backoff_min = 20 * kMillisecond;
+  TimeMicros backoff_max = 200 * kMillisecond;
+};
+
+struct TxnResult {
+  Status status;             // OK iff the transaction finally committed
+  int attempts = 0;          // total begin..commit attempts
+  txn::CommitResult commit;  // last commit outcome
+};
+
+class Database {
+ public:
+  /// Creates a client homed at `dc`; the cluster owns the client.
+  Database(Cluster* cluster, DcId dc, const txn::ClientOptions& options = {})
+      : cluster_(cluster),
+        client_(cluster->CreateClient(dc, options)),
+        rng_(cluster->NextSeed()) {}
+
+  txn::TransactionClient* client() { return client_; }
+
+  /// Runs `body` as a serializable transaction on `group`, retrying aborts
+  /// (fresh snapshot each attempt) per `retry`.
+  sim::Coro<TxnResult> RunTransaction(std::string group, TxnBody body,
+                                      RetryOptions retry = {}) {
+    TxnResult result;
+    for (result.attempts = 1; result.attempts <= retry.max_attempts;
+         ++result.attempts) {
+      Status begin = co_await client_->Begin(group);
+      if (!begin.ok()) {
+        result.status = begin;
+        co_return result;
+      }
+      Status body_status = co_await body(&handle_ptr(group));
+      if (!body_status.ok()) {
+        (void)client_->Abort(group);
+        result.status = body_status;
+        co_return result;
+      }
+      result.commit = co_await client_->Commit(group);
+      result.status = result.commit.status;
+      if (result.commit.committed) co_return result;
+      if (!result.commit.status.IsAborted()) co_return result;  // infra error
+      // Concurrency-control abort: retry from a fresh snapshot.
+      co_await sim::SleepFor(
+          cluster_->simulator(),
+          rng_.UniformRange(retry.backoff_min, retry.backoff_max));
+    }
+    result.attempts = retry.max_attempts;
+    co_return result;
+  }
+
+ private:
+  // The handle must outlive the body's coroutine frame; it lives here and
+  // is re-pointed per transaction (coroutine parameters must be pointers
+  // to stable storage; see txn/client.h).
+  TxnHandle& handle_ptr(const std::string& group) {
+    group_storage_ = group;
+    handle_ = TxnHandle(client_, &group_storage_);
+    return handle_;
+  }
+
+  Cluster* cluster_;
+  txn::TransactionClient* client_;
+  Rng rng_;
+  std::string group_storage_;
+  TxnHandle handle_{nullptr, nullptr};
+};
+
+}  // namespace paxoscp::core

@@ -1,0 +1,165 @@
+#include "kvstore/store.h"
+
+#include <algorithm>
+
+namespace paxoscp::kvstore {
+
+const RowVersion* MultiVersionStore::FindVersion(const VersionChain& chain,
+                                                 Timestamp timestamp) {
+  if (chain.empty()) return nullptr;
+  if (timestamp == kLatestTimestamp) return &chain.back();
+  // Last version with ts <= timestamp.
+  auto it = std::upper_bound(
+      chain.begin(), chain.end(), timestamp,
+      [](Timestamp ts, const RowVersion& v) { return ts < v.timestamp; });
+  if (it == chain.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+Result<RowVersion> MultiVersionStore::Read(const std::string& key,
+                                           Timestamp timestamp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound("no such key: " + key);
+  const RowVersion* v = FindVersion(it->second, timestamp);
+  if (v == nullptr) {
+    return Status::NotFound("no version of '" + key + "' at ts <= " +
+                            std::to_string(timestamp));
+  }
+  return *v;
+}
+
+Result<std::string> MultiVersionStore::ReadAttr(const std::string& key,
+                                                const std::string& attribute,
+                                                Timestamp timestamp) const {
+  Result<RowVersion> row = Read(key, timestamp);
+  if (!row.ok()) return row.status();
+  auto it = row->attributes.find(attribute);
+  if (it == row->attributes.end()) {
+    return Status::NotFound("key '" + key + "' has no attribute '" +
+                            attribute + "'");
+  }
+  return it->second;
+}
+
+Status MultiVersionStore::Write(const std::string& key,
+                                std::map<std::string, std::string> attributes,
+                                Timestamp timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VersionChain& chain = rows_[key];
+  Timestamp ts = timestamp;
+  if (ts == kLatestTimestamp) {
+    ts = chain.empty() ? 1 : chain.back().timestamp + 1;
+  } else if (!chain.empty() && chain.back().timestamp >= ts) {
+    return Status::Conflict(
+        "version with timestamp >= " + std::to_string(ts) +
+        " already exists for key '" + key + "'");
+  }
+  chain.push_back(RowVersion{ts, std::move(attributes)});
+  return Status::OK();
+}
+
+Status MultiVersionStore::CheckAndWrite(
+    const std::string& key, const std::string& test_attribute,
+    const std::string& test_value,
+    std::map<std::string, std::string> attributes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string current;  // missing row/attribute reads as ""
+  VersionChain& chain = rows_[key];
+  if (!chain.empty()) {
+    const auto& latest = chain.back().attributes;
+    auto it = latest.find(test_attribute);
+    if (it != latest.end()) current = it->second;
+  }
+  if (current != test_value) {
+    return Status::Conflict("checkAndWrite: '" + key + "." + test_attribute +
+                            "' is '" + current + "', expected '" + test_value +
+                            "'");
+  }
+  const Timestamp ts = chain.empty() ? 1 : chain.back().timestamp + 1;
+  chain.push_back(RowVersion{ts, std::move(attributes)});
+  return Status::OK();
+}
+
+Status MultiVersionStore::MergeWrite(
+    const std::string& key, const std::map<std::string, std::string>& updates,
+    Timestamp timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VersionChain& chain = rows_[key];
+  if (!chain.empty() && chain.back().timestamp >= timestamp) {
+    // Idempotent replay: the log applier may re-apply a position after a
+    // catch-up; an existing version at or past this timestamp means the
+    // write already happened.
+    return Status::Conflict("merge-write below existing timestamp");
+  }
+  std::map<std::string, std::string> merged =
+      chain.empty() ? std::map<std::string, std::string>{}
+                    : chain.back().attributes;
+  for (const auto& [attr, value] : updates) merged[attr] = value;
+  chain.push_back(RowVersion{timestamp, std::move(merged)});
+  return Status::OK();
+}
+
+bool MultiVersionStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  return it != rows_.end() && !it->second.empty();
+}
+
+size_t MultiVersionStore::VersionCount(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  return it == rows_.end() ? 0 : it->second.size();
+}
+
+size_t MultiVersionStore::TruncateVersions(const std::string& key,
+                                           Timestamp watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return 0;
+  VersionChain& chain = it->second;
+  const RowVersion* keep = FindVersion(chain, watermark);
+  if (keep == nullptr) return 0;
+  const Timestamp keep_ts = keep->timestamp;
+  size_t removed = 0;
+  auto first_kept = std::find_if(
+      chain.begin(), chain.end(),
+      [keep_ts](const RowVersion& v) { return v.timestamp >= keep_ts; });
+  removed = static_cast<size_t>(std::distance(chain.begin(), first_kept));
+  chain.erase(chain.begin(), first_kept);
+  return removed;
+}
+
+size_t MultiVersionStore::TruncateAllVersions(Timestamp watermark) {
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys.reserve(rows_.size());
+    for (const auto& [key, chain] : rows_) keys.push_back(key);
+  }
+  size_t removed = 0;
+  for (const auto& key : keys) removed += TruncateVersions(key, watermark);
+  return removed;
+}
+
+std::vector<std::string> MultiVersionStore::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (!it->second.empty()) out.push_back(it->first);
+  }
+  return out;
+}
+
+size_t MultiVersionStore::KeyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, chain] : rows_) {
+    if (!chain.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace paxoscp::kvstore

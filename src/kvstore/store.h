@@ -1,0 +1,111 @@
+// Multi-version key-value store: the per-datacenter storage substrate.
+//
+// Substitutes for HBase in the paper. Paper §2.2 requires exactly three
+// atomic operations plus multi-version rows; this store implements that
+// contract precisely:
+//
+//   * Read(key, timestamp)  — most recent version with ts <= timestamp
+//                             (kLatestTimestamp => newest version).
+//   * Write(key, row, ts)   — creates a new version stamped `ts`; rejected
+//                             if a version with a greater timestamp exists
+//                             (kLatestTimestamp => auto-assign ts greater
+//                             than all existing versions).
+//   * CheckAndWrite(...)    — atomic test-and-set on one attribute of the
+//                             latest version, then Write on success.
+//
+// Rows are maps from attribute (column) name to value; each Write stores a
+// complete row snapshot, mirroring the paper's "new version of the row".
+// All operations are atomic with respect to one another (single mutex; the
+// simulator is single-threaded but the store is independently thread-safe
+// so it can be exercised standalone).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace paxoscp::kvstore {
+
+/// A row version: full attribute map plus the version timestamp.
+struct RowVersion {
+  Timestamp timestamp = 0;
+  std::map<std::string, std::string> attributes;
+};
+
+class MultiVersionStore {
+ public:
+  MultiVersionStore() = default;
+  MultiVersionStore(const MultiVersionStore&) = delete;
+  MultiVersionStore& operator=(const MultiVersionStore&) = delete;
+
+  /// Reads the most recent version of `key` with timestamp <= `timestamp`.
+  /// kLatestTimestamp reads the newest version. NotFound if no such version.
+  Result<RowVersion> Read(const std::string& key,
+                          Timestamp timestamp = kLatestTimestamp) const;
+
+  /// Reads a single attribute at the given snapshot; NotFound if the row has
+  /// no qualifying version or the version lacks the attribute.
+  Result<std::string> ReadAttr(const std::string& key,
+                               const std::string& attribute,
+                               Timestamp timestamp = kLatestTimestamp) const;
+
+  /// Creates a new version of `key`. With an explicit timestamp, fails with
+  /// Conflict if any version with a timestamp >= `timestamp` exists (the
+  /// paper: "If a version with greater timestamp exists, an error is
+  /// returned"). With kLatestTimestamp, assigns max-existing + 1.
+  Status Write(const std::string& key,
+               std::map<std::string, std::string> attributes,
+               Timestamp timestamp = kLatestTimestamp);
+
+  /// Atomically: if the latest version of `key` has `test_attribute` equal
+  /// to `test_value`, apply Write(key, attributes) and return OK; otherwise
+  /// Conflict. A missing row or attribute compares equal to the empty
+  /// string, so initializing writes can use test_value = "".
+  Status CheckAndWrite(const std::string& key,
+                       const std::string& test_attribute,
+                       const std::string& test_value,
+                       std::map<std::string, std::string> attributes);
+
+  /// Merge-write convenience used by the log applier: reads the latest
+  /// version <= `timestamp`, overlays `updates`, writes at `timestamp`.
+  Status MergeWrite(const std::string& key,
+                    const std::map<std::string, std::string>& updates,
+                    Timestamp timestamp);
+
+  /// True if the key has at least one version.
+  bool Contains(const std::string& key) const;
+
+  /// Number of stored versions of `key` (0 if absent).
+  size_t VersionCount(const std::string& key) const;
+
+  /// Garbage-collects versions of `key` strictly older than the newest
+  /// version with timestamp <= `watermark` (that version stays readable).
+  /// Returns the number of versions removed.
+  size_t TruncateVersions(const std::string& key, Timestamp watermark);
+
+  /// Applies TruncateVersions to every key. Returns total removed.
+  size_t TruncateAllVersions(Timestamp watermark);
+
+  /// All keys with the given prefix, sorted.
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  size_t KeyCount() const;
+
+ private:
+  using VersionChain = std::vector<RowVersion>;  // ascending by timestamp
+
+  /// Returns the newest version with ts <= timestamp, or nullptr.
+  static const RowVersion* FindVersion(const VersionChain& chain,
+                                       Timestamp timestamp);
+
+  mutable std::mutex mu_;
+  std::map<std::string, VersionChain> rows_;
+};
+
+}  // namespace paxoscp::kvstore

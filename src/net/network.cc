@@ -1,0 +1,209 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace paxoscp::net {
+
+namespace {
+
+/// Everything a handler invocation needs, heap-owned so the coroutine only
+/// carries a trivially-destructible pointer parameter (GCC 12 miscompiles
+/// frame copies of std::any / std::variant parameters; see sim/coro.h).
+struct HandlerContext {
+  ServiceHandler handler;
+  DcId from = kNoDc;
+  std::any request;
+  std::function<void(std::any)> done;
+};
+
+/// Glue: runs a handler coroutine to completion, then hands the response to
+/// `done`. Task is eager, so calling this starts the handler immediately.
+/// Takes ownership of `raw_context`.
+sim::Task RunHandler(HandlerContext* raw_context) {
+  std::unique_ptr<HandlerContext> context(raw_context);
+  std::any response =
+      co_await context->handler(context->from, &context->request);
+  context->done(std::move(response));
+}
+
+struct BroadcastAggregator {
+  std::vector<TargetResult> results;
+  int resolved = 0;
+  int successes = 0;
+  bool grace_scheduled = false;
+};
+
+}  // namespace
+
+Network::Network(sim::Simulator* sim,
+                 std::vector<std::vector<TimeMicros>> rtt_matrix,
+                 NetworkOptions options)
+    : sim_(sim),
+      rtt_(std::move(rtt_matrix)),
+      options_(options),
+      rng_(options.seed) {
+  const size_t n = rtt_.size();
+  for (const auto& row : rtt_) {
+    assert(row.size() == n && "rtt matrix must be square");
+    (void)row;
+  }
+  handlers_.resize(n);
+  dc_down_.assign(n, false);
+  link_down_.assign(n, std::vector<bool>(n, false));
+}
+
+void Network::RegisterEndpoint(DcId dc, ServiceHandler handler) {
+  assert(dc >= 0 && dc < num_datacenters());
+  handlers_[dc] = std::move(handler);
+}
+
+TimeMicros Network::SampleDelay(DcId from, DcId to) {
+  const TimeMicros one_way = rtt_[from][to] / 2;
+  if (options_.latency_jitter <= 0 || one_way == 0) {
+    return std::max<TimeMicros>(one_way, 1);
+  }
+  const double j = (rng_.NextDouble() * 2 - 1) * options_.latency_jitter;
+  const auto delayed = static_cast<TimeMicros>(
+      static_cast<double>(one_way) * (1.0 + j));
+  return std::max<TimeMicros>(delayed, 1);
+}
+
+bool Network::ShouldDrop(DcId from, DcId to) {
+  if (dc_down_[from] || dc_down_[to]) return true;
+  if (link_down_[from][to]) return true;
+  if (from != to && rng_.Bernoulli(options_.loss_probability)) return true;
+  return false;
+}
+
+sim::Future<CallResult> Network::Call(DcId from, DcId to,
+                                      const std::any& request,
+                                      TimeMicros timeout) {
+  assert(from >= 0 && from < num_datacenters());
+  assert(to >= 0 && to < num_datacenters());
+  if (timeout <= 0) timeout = options_.default_timeout;
+  ++calls_started_;
+
+  sim::Promise<CallResult> promise(sim_);
+
+  // Timeout: fires unless a response won the race first.
+  sim_->ScheduleAfter(timeout, [promise] {
+    promise.Set(CallResult{Status::TimedOut("rpc timeout"), {}});
+  });
+
+  // Request leg.
+  ++messages_sent_;
+  if (ShouldDrop(from, to)) {
+    ++messages_dropped_;
+    return promise.GetFuture();
+  }
+  const TimeMicros request_delay = SampleDelay(from, to);
+  sim_->ScheduleAfter(
+      request_delay, [this, from, to, promise,
+                      request = request]() mutable {
+        // Delivery-time check: the destination may have gone down while the
+        // message was in flight.
+        if (dc_down_[to]) {
+          ++messages_dropped_;
+          return;
+        }
+        if (!handlers_[to]) {
+          ++messages_dropped_;
+          return;
+        }
+        auto* context = new HandlerContext;
+        context->handler = handlers_[to];
+        context->from = from;
+        context->request = std::move(request);
+        context->done = [this, from, to, promise](std::any response) {
+                     // Response leg.
+                     ++messages_sent_;
+                     if (ShouldDrop(to, from)) {
+                       ++messages_dropped_;
+                       return;
+                     }
+                     const TimeMicros response_delay = SampleDelay(to, from);
+                     sim_->ScheduleAfter(
+                         response_delay,
+                         [this, from, promise,
+                          response = std::move(response)]() mutable {
+                           if (dc_down_[from]) {
+                             ++messages_dropped_;
+                             return;
+                           }
+                           promise.Set(CallResult{Status::OK(),
+                                                  std::move(response)});
+                         });
+        };
+        RunHandler(context);
+      });
+  return promise.GetFuture();
+}
+
+sim::Future<BroadcastResult> Network::Broadcast(
+    DcId from, const std::vector<DcId>& targets, const std::any& request,
+    const BroadcastOptions& options) {
+  sim::Promise<BroadcastResult> promise(sim_);
+  auto agg = std::make_shared<BroadcastAggregator>();
+  const int n = static_cast<int>(targets.size());
+  agg->results.resize(n);
+  for (int i = 0; i < n; ++i) {
+    agg->results[i].dc = targets[i];
+    agg->results[i].status = Status::Unavailable("no response collected");
+  }
+  if (n == 0) {
+    promise.Set(BroadcastResult{});
+    return promise.GetFuture();
+  }
+
+  auto finish = [promise, agg] { promise.Set(agg->results); };
+
+  for (int i = 0; i < n; ++i) {
+    Call(from, targets[i], request, options.timeout)
+        .OnReady([this, i, n, agg, finish, options,
+                  promise](CallResult&& result) {
+          if (promise.IsSet()) return;  // already resolved (quorum early)
+          agg->results[i].status = result.status;
+          agg->results[i].response = std::move(result.response);
+          agg->resolved++;
+          if (result.status.ok()) agg->successes++;
+
+          if (agg->resolved == n) {
+            finish();
+            return;
+          }
+          if (options.policy == WaitPolicy::kQuorumEarly &&
+              agg->successes >= options.quorum && !agg->grace_scheduled) {
+            agg->grace_scheduled = true;
+            if (options.grace <= 0) {
+              finish();
+            } else {
+              sim_->ScheduleAfter(options.grace, finish);
+            }
+          }
+        });
+  }
+  return promise.GetFuture();
+}
+
+void Network::SetDatacenterDown(DcId dc, bool down) {
+  assert(dc >= 0 && dc < num_datacenters());
+  dc_down_[dc] = down;
+}
+
+void Network::SetLinkDown(DcId a, DcId b, bool down) {
+  assert(a >= 0 && a < num_datacenters());
+  assert(b >= 0 && b < num_datacenters());
+  link_down_[a][b] = down;
+  link_down_[b][a] = down;
+}
+
+void Network::ResetStats() {
+  messages_sent_ = 0;
+  messages_dropped_ = 0;
+  calls_started_ = 0;
+}
+
+}  // namespace paxoscp::net

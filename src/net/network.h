@@ -1,0 +1,143 @@
+// Simulated multi-datacenter network. Substitutes for the paper's EC2
+// deployment (Virginia x3, Oregon, California over UDP): point-to-point
+// latencies come from an RTT matrix, messages can be lost or delayed, whole
+// datacenters and individual links can be taken down, and every request is
+// bounded by a timeout — exactly the failure model in paper §2.2 ("either
+// the message arrives before a known timeout or it is lost").
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/coro.h"
+#include "sim/simulator.h"
+
+namespace paxoscp::net {
+
+/// Outcome of a single RPC.
+struct CallResult {
+  Status status;       // OK, TimedOut, or Unavailable
+  std::any response;   // valid iff status.ok()
+};
+
+/// Outcome of one target within a Broadcast.
+struct TargetResult {
+  DcId dc = kNoDc;
+  Status status;
+  std::any response;
+};
+using BroadcastResult = std::vector<TargetResult>;
+
+/// A service endpoint: receives a request (with the caller's DcId) and
+/// produces a response, possibly suspending (e.g. to learn a log entry).
+/// The request is passed by pointer — it is owned by the network layer and
+/// outlives the handler coroutine. (Coroutine parameters must be trivially
+/// destructible on this toolchain; see sim/coro.h.)
+using ServiceHandler =
+    std::function<sim::Coro<std::any>(DcId from, const std::any* request)>;
+
+/// How long to wait for broadcast responses.
+enum class WaitPolicy {
+  /// Wait until every target either responded or timed out (paper default:
+  /// the client keeps collecting votes until the timeout window closes, so
+  /// in practice it sees "more than a simple majority" of responses, §5).
+  kAll,
+  /// Resume as soon as `quorum` successful responses arrived (plus an
+  /// optional grace period); stragglers are marked Unavailable. Used by the
+  /// wait-policy ablation.
+  kQuorumEarly,
+};
+
+struct NetworkOptions {
+  /// Probability that any single one-way message is silently dropped.
+  double loss_probability = 0.0;
+  /// One-way delay is rtt/2 * (1 + U(-jitter, +jitter)).
+  double latency_jitter = 0.10;
+  /// Per-call timeout when the caller passes 0 (paper: 2 seconds).
+  TimeMicros default_timeout = 2 * kSecond;
+  /// RNG seed for delay jitter and loss decisions.
+  uint64_t seed = 1;
+};
+
+struct BroadcastOptions {
+  WaitPolicy policy = WaitPolicy::kAll;
+  int quorum = 0;                 // used by kQuorumEarly
+  TimeMicros grace = 0;           // extra wait after quorum reached
+  TimeMicros timeout = 0;         // 0 => NetworkOptions::default_timeout
+};
+
+class Network {
+ public:
+  /// `rtt_matrix[a][b]` is the round-trip time between datacenters a and b
+  /// in microseconds; the diagonal models intra-datacenter hops.
+  Network(sim::Simulator* sim, std::vector<std::vector<TimeMicros>> rtt_matrix,
+          NetworkOptions options);
+
+  int num_datacenters() const { return static_cast<int>(rtt_.size()); }
+
+  /// Installs the handler that serves requests arriving at `dc`.
+  void RegisterEndpoint(DcId dc, ServiceHandler handler);
+
+  /// Sends `request` from `from` to `to`; resolves with the response or
+  /// TimedOut. `timeout` of 0 uses the default (2 s). The request is taken
+  /// by reference and copied internally — callers in coroutines must pass a
+  /// named object, never a temporary inside a co_await expression (see
+  /// sim/coro.h on GCC 12 cross-suspension temporary hazards).
+  sim::Future<CallResult> Call(DcId from, DcId to, const std::any& request,
+                               TimeMicros timeout = 0);
+
+  /// Sends `request` to every target in parallel and gathers the results
+  /// according to the wait policy. The result vector is ordered as `targets`.
+  sim::Future<BroadcastResult> Broadcast(DcId from,
+                                         const std::vector<DcId>& targets,
+                                         const std::any& request,
+                                         const BroadcastOptions& options);
+
+  // -- Fault injection ------------------------------------------------------
+
+  /// Takes a whole datacenter off the network (drops inbound and outbound).
+  void SetDatacenterDown(DcId dc, bool down);
+  bool IsDatacenterDown(DcId dc) const { return dc_down_[dc]; }
+
+  /// Severs the (bidirectional) link between two datacenters.
+  void SetLinkDown(DcId a, DcId b, bool down);
+
+  void set_loss_probability(double p) { options_.loss_probability = p; }
+  double loss_probability() const { return options_.loss_probability; }
+
+  // -- Statistics (used to verify the paper's message-complexity claim) -----
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t calls_started() const { return calls_started_; }
+  void ResetStats();
+
+  sim::Simulator* simulator() const { return sim_; }
+  TimeMicros default_timeout() const { return options_.default_timeout; }
+
+ private:
+  /// Samples the one-way delay from `from` to `to`.
+  TimeMicros SampleDelay(DcId from, DcId to);
+  /// True if the message should be dropped (loss, outage, severed link).
+  bool ShouldDrop(DcId from, DcId to);
+
+  sim::Simulator* sim_;
+  std::vector<std::vector<TimeMicros>> rtt_;
+  NetworkOptions options_;
+  Rng rng_;
+  std::vector<ServiceHandler> handlers_;
+  std::vector<bool> dc_down_;
+  std::vector<std::vector<bool>> link_down_;
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t calls_started_ = 0;
+};
+
+}  // namespace paxoscp::net

@@ -1,0 +1,142 @@
+#include "paxos/acceptor.h"
+
+#include <cassert>
+
+namespace paxoscp::paxos {
+
+namespace {
+
+constexpr char kNextBalAttr[] = "next_bal";
+constexpr char kVoteBalAttr[] = "vote_bal";
+constexpr char kVoteValAttr[] = "vote_val";
+constexpr char kClaimedAttr[] = "claimed";
+
+}  // namespace
+
+Acceptor::Acceptor(kvstore::MultiVersionStore* store, wal::WriteAheadLog* log)
+    : store_(store), log_(log) {}
+
+std::string Acceptor::StateKey(LogPos pos) const {
+  return "!paxos/" + log_->group() + "/" + wal::PadPos(pos);
+}
+
+std::string Acceptor::LeaderKey(LogPos pos) const {
+  return "!leader/" + log_->group() + "/" + wal::PadPos(pos);
+}
+
+Acceptor::State Acceptor::ReadState(LogPos pos) const {
+  State state;
+  Result<kvstore::RowVersion> row = store_->Read(StateKey(pos));
+  if (!row.ok()) return state;  // initial <-1, -1, bottom>
+  const auto& attrs = row->attributes;
+  if (auto it = attrs.find(kNextBalAttr); it != attrs.end()) {
+    state.next_bal = Ballot::Decode(it->second);
+  }
+  if (auto it = attrs.find(kVoteBalAttr); it != attrs.end()) {
+    state.vote_ballot = Ballot::Decode(it->second);
+  }
+  if (auto it = attrs.find(kVoteValAttr);
+      it != attrs.end() && !it->second.empty()) {
+    Result<wal::LogEntry> value = wal::LogEntry::Decode(it->second);
+    if (value.ok()) state.vote_value = *std::move(value);
+  }
+  return state;
+}
+
+PrepareResult Acceptor::OnPrepare(LogPos pos, const Ballot& b) {
+  // keepTrying loop of Algorithm 1: re-read and retry when the
+  // CheckAndWrite loses a race with a concurrent service process.
+  for (;;) {
+    const State state = ReadState(pos);
+    PrepareResult result;
+    result.vote_ballot = state.vote_ballot;
+    result.vote_value = state.vote_value;
+    if (Result<wal::LogEntry> entry = log_->GetEntry(pos); entry.ok()) {
+      result.decided = *std::move(entry);
+    }
+    if (b > state.next_bal) {
+      const std::string old_next = state.next_bal.IsNull()
+                                       ? std::string()
+                                       : state.next_bal.Encode();
+      Status s = store_->CheckAndWrite(
+          StateKey(pos), kNextBalAttr, old_next,
+          {{kNextBalAttr, b.Encode()},
+           {kVoteBalAttr, state.vote_ballot.Encode()},
+           {kVoteValAttr,
+            state.vote_value ? state.vote_value->Encode() : std::string()}});
+      if (!s.ok()) continue;  // lost the race; retry with fresh state
+      result.promised = true;
+      result.next_bal = b;
+      return result;
+    }
+    result.promised = false;
+    result.next_bal = state.next_bal;
+    return result;
+  }
+}
+
+AcceptResult Acceptor::OnAccept(LogPos pos, const Ballot& b,
+                                const wal::LogEntry& value) {
+  for (;;) {
+    const State state = ReadState(pos);
+    AcceptResult result;
+    result.next_bal = state.next_bal;
+    // Algorithm 1 line 18: vote iff propNum matches the most recent promise.
+    // Fast path: a round-0 ballot is also acceptable when this acceptor is
+    // untouched (no promise, no vote) — only one client per position can
+    // ever hold round 0 thanks to the persisted leader grant.
+    const bool normal_path = !b.IsNull() && b == state.next_bal;
+    const bool fast_path = b.IsFastPath() && state.next_bal.IsNull() &&
+                           state.vote_ballot.IsNull();
+    const bool revote = b == state.vote_ballot;  // duplicate accept; idempotent
+    if (!(normal_path || fast_path || revote)) {
+      result.accepted = false;
+      return result;
+    }
+    const std::string old_next =
+        state.next_bal.IsNull() ? std::string() : state.next_bal.Encode();
+    const Ballot new_next = std::max(state.next_bal, b);
+    Status s = store_->CheckAndWrite(StateKey(pos), kNextBalAttr, old_next,
+                                     {{kNextBalAttr, new_next.Encode()},
+                                      {kVoteBalAttr, b.Encode()},
+                                      {kVoteValAttr, value.Encode()}});
+    if (!s.ok()) continue;  // raced; retry
+    result.accepted = true;
+    result.next_bal = new_next;
+    return result;
+  }
+}
+
+Status Acceptor::OnApply(LogPos pos, const Ballot& b,
+                         const wal::LogEntry& value) {
+  // Record the decision in the write-ahead log (idempotent; Corruption on a
+  // conflicting decision, which would be a Paxos safety violation).
+  PAXOSCP_RETURN_IF_ERROR(log_->SetEntry(pos, value));
+  // Refresh the vote state so later prepares on this position report the
+  // decided value (Algorithm 1 line 21 writes <propNum, value>).
+  for (;;) {
+    const State state = ReadState(pos);
+    if (state.vote_value && state.vote_value->Fingerprint() ==
+                                value.Fingerprint()) {
+      return Status::OK();
+    }
+    const std::string old_next =
+        state.next_bal.IsNull() ? std::string() : state.next_bal.Encode();
+    const Ballot new_next = std::max(state.next_bal, b);
+    const Ballot new_vote = std::max(state.vote_ballot, b);
+    Status s = store_->CheckAndWrite(StateKey(pos), kNextBalAttr, old_next,
+                                     {{kNextBalAttr, new_next.Encode()},
+                                      {kVoteBalAttr, new_vote.Encode()},
+                                      {kVoteValAttr, value.Encode()}});
+    if (s.ok()) return Status::OK();
+  }
+}
+
+bool Acceptor::TryClaimLeadership(LogPos pos) {
+  // First caller flips claimed "" -> "1"; everyone after gets Conflict.
+  return store_
+      ->CheckAndWrite(LeaderKey(pos), kClaimedAttr, "", {{kClaimedAttr, "1"}})
+      .ok();
+}
+
+}  // namespace paxoscp::paxos

@@ -1,0 +1,80 @@
+// The acceptor side of the Paxos commit protocol (paper Algorithm 1),
+// executed by the Transaction Service of each datacenter.
+//
+// Faithful to the paper, acceptor state for log position P lives in the
+// local key-value store as a row <nextBal, ballotNumber, value>, initially
+// <-1, -1, bottom>, and every mutation goes through CheckAndWrite so that
+// concurrent service processes (the service is stateless; any process may
+// handle any request) update it atomically.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kvstore/store.h"
+#include "paxos/ballot.h"
+#include "wal/log.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp::paxos {
+
+/// Acceptor reply to a prepare message.
+struct PrepareResult {
+  bool promised = false;          // true => this acceptor granted the ballot
+  Ballot next_bal;                // promise now held (hint on rejection)
+  Ballot vote_ballot;             // last vote cast (null if none)
+  std::optional<wal::LogEntry> vote_value;
+  /// Set when this replica already knows the decided value for the
+  /// position; lets proposers skip straight to the outcome (catch-up hint).
+  std::optional<wal::LogEntry> decided;
+};
+
+/// Acceptor reply to an accept message.
+struct AcceptResult {
+  bool accepted = false;
+  Ballot next_bal;  // hint for the proposer's next round on rejection
+};
+
+class Acceptor {
+ public:
+  /// `log` must outlive the acceptor and wrap the same store.
+  Acceptor(kvstore::MultiVersionStore* store, wal::WriteAheadLog* log);
+
+  /// Algorithm 1, lines 3-15. Grants the ballot iff b > nextBal.
+  PrepareResult OnPrepare(LogPos pos, const Ballot& b);
+
+  /// Algorithm 1, lines 16-19 (plus the leader fast-path: a round-0 ballot
+  /// is accepted by an acceptor that has made no promise and cast no vote).
+  AcceptResult OnAccept(LogPos pos, const Ballot& b,
+                        const wal::LogEntry& value);
+
+  /// Algorithm 1, lines 20-21: writes the decided value into the log and
+  /// refreshes the vote state so later prepares discover the decision.
+  Status OnApply(LogPos pos, const Ballot& b, const wal::LogEntry& value);
+
+  /// Leader-per-log-position grant (paper §4.1 "Paxos Optimizations"): the
+  /// first claimant of a position at the leading datacenter may skip the
+  /// prepare phase. Persisted via CheckAndWrite so duplicate grants are
+  /// impossible even across service restarts (grants are what keep the
+  /// round-0 fast path safe).
+  bool TryClaimLeadership(LogPos pos);
+
+  /// Reads current acceptor state (test hook).
+  struct State {
+    Ballot next_bal;
+    Ballot vote_ballot;
+    std::optional<wal::LogEntry> vote_value;
+  };
+  State ReadState(LogPos pos) const;
+
+ private:
+  std::string StateKey(LogPos pos) const;
+  std::string LeaderKey(LogPos pos) const;
+
+  kvstore::MultiVersionStore* store_;
+  wal::WriteAheadLog* log_;
+};
+
+}  // namespace paxoscp::paxos

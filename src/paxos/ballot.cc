@@ -1,0 +1,27 @@
+#include "paxos/ballot.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace paxoscp::paxos {
+
+std::string Ballot::Encode() const {
+  return std::to_string(round) + "." + std::to_string(proposer);
+}
+
+Ballot Ballot::Decode(std::string_view s) {
+  Ballot b;
+  if (s.empty()) return b;
+  const size_t dot = s.find('.');
+  if (dot == std::string_view::npos) return b;
+  b.round = std::strtoll(std::string(s.substr(0, dot)).c_str(), nullptr, 10);
+  b.proposer = static_cast<DcId>(
+      std::strtol(std::string(s.substr(dot + 1)).c_str(), nullptr, 10));
+  return b;
+}
+
+Ballot NextBallot(const Ballot& max_seen, DcId proposer) {
+  return Ballot{std::max<int64_t>(max_seen.round, 0) + 1, proposer};
+}
+
+}  // namespace paxoscp::paxos

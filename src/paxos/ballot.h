@@ -1,0 +1,41 @@
+// Paxos proposal numbers. A ballot is a (round, proposer) pair ordered
+// lexicographically, which makes proposal numbers unique across clients as
+// Algorithm 2 requires. Round 0 is reserved for the leader fast-path (the
+// one client granted the position by the per-position leader may start at
+// the accept phase with ballot {0, its dc}; everyone else begins prepare
+// with round >= 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace paxoscp::paxos {
+
+struct Ballot {
+  int64_t round = -1;   // -1 == null ballot (no promise / no vote)
+  DcId proposer = kNoDc;
+
+  bool IsNull() const { return round < 0; }
+  bool IsFastPath() const { return round == 0; }
+
+  friend auto operator<=>(const Ballot& a, const Ballot& b) = default;
+
+  /// Compact string form "round.proposer" used when persisting acceptor
+  /// state in the key-value store (Algorithm 1 keeps it in datastore rows).
+  std::string Encode() const;
+  static Ballot Decode(std::string_view s);
+
+  std::string ToString() const { return Encode(); }
+};
+
+inline constexpr Ballot kNullBallot{};
+
+/// The next proposal number to use after observing `max_seen`: one round
+/// above anything seen, tagged with this proposer (Algorithm 2,
+/// nextPropNumber).
+Ballot NextBallot(const Ballot& max_seen, DcId proposer);
+
+}  // namespace paxoscp::paxos

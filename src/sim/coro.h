@@ -1,0 +1,283 @@
+// C++20 coroutine primitives layered on the discrete-event Simulator.
+//
+//  * Task       — detached, eagerly-started top-level coroutine (a "client
+//                 process" in the simulation). Progress happens only through
+//                 scheduled events, so Simulator::Run() drains all Tasks.
+//  * Coro<T>    — lazy child coroutine; `co_await` starts it and resumes the
+//                 parent (symmetric transfer) when it co_returns.
+//  * Future<T> / Promise<T>
+//               — one-shot rendezvous. Set() is first-wins (later Sets are
+//                 ignored), which is how response-vs-timeout races resolve.
+//                 Waiters are resumed through the event queue, never inline,
+//                 preserving deterministic execution order.
+//  * SleepFor   — awaitable virtual-time delay.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace paxoscp::sim {
+
+namespace internal {
+
+/// Destroys a finished coroutine frame *safely*: never inline, because the
+/// destructor typically runs from within the frame's own resume chain
+/// (symmetric transfer resumed the parent from inside the child's resume
+/// activation, and GCC 12 does not guarantee a true tail call there).
+/// Destruction is deferred through the current simulator's event queue;
+/// outside a simulator the destroy happens inline (only safe when no
+/// symmetric transfer is on the stack — all library code runs under a
+/// Simulator).
+inline void DestroyFrameDeferred(std::coroutine_handle<> h) {
+  if (!h) return;
+  if (Simulator* sim = Simulator::Current()) {
+    sim->ScheduleAfter(0, [h] { h.destroy(); });
+  } else {
+    h.destroy();
+  }
+}
+
+}  // namespace internal
+
+/// Detached top-level coroutine handle. The coroutine starts running as soon
+/// as it is called and destroys its own frame when it finishes.
+struct Task {
+  struct promise_type {
+    promise_type() = default;
+
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Lazy child coroutine returning T. Must be awaited exactly once; the
+/// awaiting coroutine owns the frame for the duration of the await.
+template <typename T>
+class [[nodiscard]] Coro {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  struct promise_type {
+    // Explicitly declared so the promise is not an aggregate: otherwise GCC
+    // tries to aggregate-initialize it from the coroutine's parameters,
+    // which explodes when T is std::any (constructible from anything).
+    promise_type() = default;
+
+    std::optional<T> value;
+    std::coroutine_handle<> continuation;
+
+    Coro get_return_object() { return Coro(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Coro(Handle h) : handle_(h) {}
+  Coro(Coro&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  Coro& operator=(Coro&& other) noexcept {
+    if (this != &other) {
+      internal::DestroyFrameDeferred(handle_);
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Coro() { internal::DestroyFrameDeferred(handle_); }
+
+  // Awaiter interface.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;  // start the child
+  }
+  T await_resume() {
+    assert(handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  Handle handle_;
+};
+
+/// Coro<void> specialization.
+template <>
+class [[nodiscard]] Coro<void> {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  struct promise_type {
+    promise_type() = default;
+
+    std::coroutine_handle<> continuation;
+
+    Coro get_return_object() { return Coro(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Coro(Handle h) : handle_(h) {}
+  Coro(Coro&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { internal::DestroyFrameDeferred(handle_); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {}
+
+ private:
+  Handle handle_;
+};
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  explicit FutureState(Simulator* s) : sim(s) {}
+
+  Simulator* sim;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+  std::function<void(T&&)> callback;
+  bool delivered = false;
+
+  void Set(T v) {
+    if (value.has_value()) return;  // first-wins
+    value = std::move(v);
+    MaybeDeliver();
+  }
+
+  void MaybeDeliver() {
+    if (!value.has_value() || delivered) return;
+    if (waiter) {
+      delivered = true;
+      auto h = waiter;
+      waiter = nullptr;
+      sim->ScheduleAfter(0, [h] { h.resume(); });
+    } else if (callback) {
+      delivered = true;
+      auto cb = std::move(callback);
+      callback = nullptr;
+      // Deliver through the event queue for deterministic ordering. The
+      // state must stay alive until the event runs; the lambda's shared_ptr
+      // is added by the caller (Future/Promise both hold one).
+      auto* self = this;
+      sim->ScheduleAfter(0, [cb = std::move(cb), self] {
+        cb(std::move(*self->value));
+      });
+    }
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Promise;
+
+/// Awaitable one-shot value. Obtained from Promise<T>::GetFuture(). Await it
+/// from a coroutine, or attach a plain callback with OnReady().
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool await_ready() const noexcept {
+    return state_->value.has_value() && !state_->delivered;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(!state_->waiter && !state_->callback && "future already awaited");
+    state_->waiter = h;
+  }
+  T await_resume() {
+    state_->delivered = true;
+    return std::move(*state_->value);
+  }
+
+  /// Callback alternative to awaiting; runs through the event queue.
+  void OnReady(std::function<void(T&&)> cb) {
+    assert(!state_->waiter && !state_->callback && "future already awaited");
+    state_->callback = [keep = state_, cb = std::move(cb)](T&& v) mutable {
+      cb(std::move(v));
+    };
+    state_->MaybeDeliver();
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Producer side of Future<T>. Copyable: multiple events (e.g. a response
+/// and a timeout) may race to Set(); the first wins.
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulator* sim)
+      : state_(std::make_shared<internal::FutureState<T>>(sim)) {}
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  void Set(T value) const { state_->Set(std::move(value)); }
+
+  bool IsSet() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Awaitable virtual-time delay: `co_await SleepFor(sim, 10 * kMillisecond)`.
+struct SleepFor {
+  SleepFor(Simulator* sim, TimeMicros delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim_->ScheduleAfter(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator* sim_;
+  TimeMicros delay_;
+};
+
+}  // namespace paxoscp::sim

@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace paxoscp::sim {
+
+namespace {
+thread_local Simulator* t_current_simulator = nullptr;
+}  // namespace
+
+Simulator::Simulator() : previous_current_(t_current_simulator) {
+  t_current_simulator = this;
+}
+
+Simulator::~Simulator() { t_current_simulator = previous_current_; }
+
+Simulator* Simulator::Current() { return t_current_simulator; }
+
+EventId Simulator::ScheduleAt(TimeMicros when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(TimeMicros delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<TimeMicros>(delay, 0), std::move(fn));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != kInvalidEventId) cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // std::priority_queue::top is const; move via const_cast is the standard
+    // pattern for pop-and-run queues.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    // Events may run coroutines belonging to this simulator even when
+    // another Simulator was constructed more recently on this thread.
+    Simulator* prev = t_current_simulator;
+    t_current_simulator = this;
+    ev.fn();
+    t_current_simulator = prev;
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+uint64_t Simulator::RunUntil(TimeMicros deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip leading cancelled events so top() reflects a real event time.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    Step();
+    ++n;
+  }
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+}  // namespace paxoscp::sim

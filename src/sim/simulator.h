@@ -1,0 +1,87 @@
+// Deterministic discrete-event simulator. All "time" in the system is
+// virtual: events execute in (time, insertion-order) order on a single
+// thread, so a whole multi-datacenter run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxoscp::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// The innermost live Simulator on this thread (nullptr outside any).
+  /// Used by the coroutine layer to defer frame destruction through the
+  /// event queue: destroying a frame from inside its own resume chain is
+  /// unsafe when the compiler's symmetric transfer is not a true tail call
+  /// (observed with GCC 12), so Coro destructors schedule the destroy as a
+  /// zero-delay event instead.
+  static Simulator* Current();
+
+  /// Current virtual time in microseconds.
+  TimeMicros Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (clamped to Now()).
+  EventId ScheduleAt(TimeMicros when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  EventId ScheduleAfter(TimeMicros delay, std::function<void()> fn);
+
+  /// Cancels a pending event. No-op if it already ran or was cancelled.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue is empty or `max_events` have executed.
+  /// Returns the number of events executed.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= deadline. Virtual time advances to `deadline`
+  /// even if the queue drains earlier. Returns events executed.
+  uint64_t RunUntil(TimeMicros deadline);
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool Step();
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMicros time;
+    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeMicros now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  Simulator* previous_current_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace paxoscp::sim

@@ -1,0 +1,375 @@
+#include "txn/client.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "paxos/value_selection.h"
+
+namespace paxoscp::txn {
+
+TransactionClient::TransactionClient(net::Network* network, DcId home,
+                                     const ClientOptions& options,
+                                     uint32_t client_uid, uint64_t seed)
+    : network_(network),
+      sim_(network->simulator()),
+      home_(home),
+      options_(options),
+      rng_(seed),
+      client_uid_(client_uid) {
+  const int d = network_->num_datacenters();
+  all_dcs_.resize(d);
+  std::iota(all_dcs_.begin(), all_dcs_.end(), 0);
+  majority_ = d / 2 + 1;
+}
+
+LogPos TransactionClient::ActiveReadPos(const std::string& group) const {
+  auto it = active_.find(group);
+  return it == active_.end() ? 0 : it->second.txn.read_pos;
+}
+
+TxnId TransactionClient::ActiveTxnId(const std::string& group) const {
+  auto it = active_.find(group);
+  return it == active_.end() ? 0 : it->second.txn.id;
+}
+
+size_t TransactionClient::ActiveReadSetSize(const std::string& group) const {
+  auto it = active_.find(group);
+  return it == active_.end() ? 0 : it->second.txn.reads.size();
+}
+
+TimeMicros TransactionClient::RandomBackoff() {
+  return rng_.UniformRange(options_.backoff_min, options_.backoff_max);
+}
+
+sim::Coro<net::CallResult> TransactionClient::CallWithFailover(
+    const ServiceRequest* request) {
+  // Home datacenter first (the paper's locality optimization), then every
+  // other Transaction Service until one answers.
+  net::CallResult last{Status::Unavailable("no datacenters"), {}};
+  for (int attempt = 0; attempt < network_->num_datacenters(); ++attempt) {
+    const DcId target = (home_ + attempt) % network_->num_datacenters();
+    const std::any payload(*request);
+    last = co_await network_->Call(home_, target, payload,
+                                   options_.rpc_timeout);
+    if (last.status.ok()) co_return last;
+  }
+  co_return last;
+}
+
+sim::Coro<net::BroadcastResult> TransactionClient::BroadcastToAll(
+    const ServiceRequest* request) {
+  net::BroadcastOptions bopts;
+  bopts.policy = options_.wait_policy;
+  bopts.quorum = majority_;
+  bopts.grace = options_.quorum_grace;
+  bopts.timeout = options_.rpc_timeout;
+  const std::any payload(*request);
+  co_return co_await network_->Broadcast(home_, all_dcs_, payload, bopts);
+}
+
+sim::Coro<Status> TransactionClient::Begin(std::string group) {
+  if (active_.count(group) > 0) {
+    co_return Status::FailedPrecondition(
+        "client already has an active transaction on group '" + group + "'");
+  }
+  ServiceRequest begin_request = BeginRequest{group};
+  net::CallResult result = co_await CallWithFailover(&begin_request);
+  if (!result.status.ok()) co_return result.status;
+  const auto& response = std::any_cast<const ServiceResponse&>(result.response);
+  const auto& begin = std::get<BeginResponse>(response);
+
+  ActiveState state;
+  state.txn.group = group;
+  state.txn.id = MakeTxnId(
+      home_, (static_cast<uint64_t>(client_uid_) << 24) | (next_seq_++));
+  state.txn.read_pos = begin.read_pos;
+  state.txn.leader_dc = begin.leader_dc;
+  active_.emplace(group, std::move(state));
+  co_return Status::OK();
+}
+
+sim::Coro<Result<std::string>> TransactionClient::Read(
+    std::string group, std::string row, std::string attribute) {
+  auto it = active_.find(group);
+  if (it == active_.end()) {
+    co_return Status::FailedPrecondition("no active transaction on group '" +
+                                         group + "'");
+  }
+  ActiveState& state = it->second;
+  const wal::ItemId item{row, attribute};
+
+  // (A1) read-own-writes from the local buffer.
+  std::string buffered;
+  if (state.txn.Read(item, &buffered)) co_return buffered;
+
+  // Repeated snapshot reads return the cached first observation (the
+  // snapshot cannot change: all reads use one read position, property A2).
+  if (auto cached = state.read_cache.find(item);
+      cached != state.read_cache.end()) {
+    co_return cached->second;
+  }
+
+  ServiceRequest read_request =
+      ReadRequest{group, item, state.txn.read_pos};
+  net::CallResult result = co_await CallWithFailover(&read_request);
+  if (!result.status.ok()) co_return result.status;
+  const auto& response = std::any_cast<const ServiceResponse&>(result.response);
+  const auto& read = std::get<ReadResponse>(response);
+  if (!read.status.ok()) co_return read.status;
+
+  // Record the read (with observed provenance) in the read set.
+  if (!state.txn.HasRecordedRead(item)) {
+    state.txn.reads.push_back(wal::ReadRecord{item, read.read.writer,
+                                              read.read.written_pos});
+  }
+  state.read_cache[item] = read.read.value;
+  co_return read.read.value;
+}
+
+Status TransactionClient::Write(const std::string& group,
+                                const std::string& row,
+                                const std::string& attribute,
+                                std::string value) {
+  auto it = active_.find(group);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("no active transaction on group '" +
+                                      group + "'");
+  }
+  it->second.txn.writes[wal::ItemId{row, attribute}] = std::move(value);
+  return Status::OK();
+}
+
+Status TransactionClient::Abort(const std::string& group) {
+  if (active_.erase(group) == 0) {
+    return Status::FailedPrecondition("no active transaction on group '" +
+                                      group + "'");
+  }
+  return Status::OK();
+}
+
+sim::Coro<CommitResult> TransactionClient::Commit(std::string group) {
+  CommitResult result;
+  auto it = active_.find(group);
+  if (it == active_.end()) {
+    result.status = Status::FailedPrecondition(
+        "no active transaction on group '" + group + "'");
+    co_return result;
+  }
+  ActiveTxn txn = std::move(it->second.txn);
+  active_.erase(it);
+  const TimeMicros start = sim_->Now();
+
+  // Read-only transactions commit automatically with no replication
+  // (paper §2.2: "If the transaction is read-only, commit automatically
+  // succeeds, and no communication with the Transaction Service is
+  // needed").
+  if (txn.writes.empty()) {
+    result.status = Status::OK();
+    result.committed = true;
+    result.read_only = true;
+    result.latency = sim_->Now() - start;
+    co_return result;
+  }
+
+  const wal::TxnRecord record = txn.ToRecord(home_);
+  wal::LogEntry own;
+  own.txns.push_back(record);
+  own.winner_dc = home_;
+
+  LogPos pos = txn.read_pos + 1;  // commit position = read position + 1
+  DcId leader = txn.leader_dc;
+
+  for (;;) {
+    InstanceOutcome outcome =
+        co_await RunInstance(group, pos, &own, leader, &result);
+    if (outcome.kind == InstanceOutcome::Kind::kUnavailable) {
+      result.status =
+          Status::Unavailable("commit protocol could not reach a quorum");
+      co_return result;
+    }
+    if (outcome.kind == InstanceOutcome::Kind::kWon ||
+        outcome.decided.ContainsTxn(record.id)) {
+      result.status = Status::OK();
+      result.committed = true;
+      result.position = pos;
+      result.combined_others =
+          static_cast<int>(outcome.decided.txns.size()) - 1;
+      result.committed_via_other = outcome.decided.winner_dc != home_;
+      result.latency = sim_->Now() - start;
+      co_return result;
+    }
+
+    // Lost the position. Basic Paxos aborts here ("All other competing
+    // transactions receive an abort response", paper §4.1).
+    if (options_.protocol == Protocol::kBasicPaxos) {
+      result.status = Status::Aborted("lost log position " +
+                                      std::to_string(pos));
+      result.latency = sim_->Now() - start;
+      co_return result;
+    }
+    // Paxos-CP promotion (§5): retry at the next position unless we read
+    // something the winners wrote.
+    if (PromotionConflicts(record, outcome.decided)) {
+      result.status = Status::Aborted(
+          "read-write conflict with winner of position " +
+          std::to_string(pos));
+      result.latency = sim_->Now() - start;
+      co_return result;
+    }
+    if (options_.promotion_cap >= 0 &&
+        result.promotions >= options_.promotion_cap) {
+      result.status = Status::Aborted("promotion cap reached at position " +
+                                      std::to_string(pos));
+      result.latency = sim_->Now() - start;
+      co_return result;
+    }
+    ++result.promotions;
+    leader = outcome.decided.winner_dc;
+    ++pos;
+  }
+}
+
+sim::Coro<std::optional<TransactionClient::InstanceOutcome>>
+TransactionClient::AcceptAndApply(std::string group, LogPos pos,
+                                  paxos::Ballot ballot,
+                                  const wal::LogEntry* proposal, TxnId own_id,
+                                  paxos::Ballot* max_seen) {
+  ServiceRequest accept_request = AcceptRequest{group, pos, ballot, *proposal};
+  net::BroadcastResult aresults = co_await BroadcastToAll(&accept_request);
+  int accepted = 0;
+  for (net::TargetResult& tr : aresults) {
+    if (!tr.status.ok()) continue;
+    const auto& response = std::any_cast<const ServiceResponse&>(tr.response);
+    const paxos::AcceptResult& ar = std::get<AcceptResponse>(response).result;
+    if (ar.accepted) {
+      ++accepted;
+    } else {
+      *max_seen = std::max(*max_seen, ar.next_bal);
+    }
+  }
+  if (accepted < majority_) co_return std::nullopt;
+
+  // Decided. Send apply to every replica (Step 5; fire-and-forget — the
+  // client does not need the acknowledgements to report its outcome).
+  net::BroadcastOptions bopts;
+  bopts.timeout = options_.rpc_timeout;
+  network_->Broadcast(home_, all_dcs_,
+                      std::any(ServiceRequest(
+                          ApplyRequest{group, pos, ballot, *proposal})),
+                      bopts);
+  InstanceOutcome outcome;
+  outcome.kind = proposal->ContainsTxn(own_id) ? InstanceOutcome::Kind::kWon
+                                               : InstanceOutcome::Kind::kLost;
+  outcome.decided = *proposal;
+  co_return outcome;
+}
+
+sim::Coro<TransactionClient::InstanceOutcome> TransactionClient::RunInstance(
+    std::string group, LogPos pos, const wal::LogEntry* own, DcId leader_dc,
+    CommitResult* stats) {
+  const TxnId own_id = own->txns.front().id;
+  paxos::Ballot max_seen;  // null
+
+  // Leader fast path (§4.1): ask the leader of this position whether we are
+  // first; if so, skip the prepare phase and propose with ballot round 0.
+  if (options_.leader_optimization) {
+    // kNoDc should not happen (begin always names a leader); fall back to
+    // the canonical bootstrap leader, never to home_, to preserve the
+    // uniqueness of round-0 grants.
+    const DcId leader = leader_dc == kNoDc ? 0 : leader_dc;
+    const std::any claim_payload(
+        ServiceRequest(ClaimLeaderRequest{group, pos}));
+    net::CallResult claim = co_await network_->Call(home_, leader,
+                                                    claim_payload,
+                                                    options_.rpc_timeout);
+    if (claim.status.ok()) {
+      const auto& response =
+          std::any_cast<const ServiceResponse&>(claim.response);
+      if (std::get<ClaimLeaderResponse>(response).granted) {
+        std::optional<InstanceOutcome> outcome = co_await AcceptAndApply(
+            group, pos, paxos::Ballot{0, home_}, own, own_id, &max_seen);
+        if (outcome.has_value()) {
+          stats->fast_path = true;
+          co_return *outcome;
+        }
+        // Contention: fall through to the full protocol.
+      }
+    }
+  }
+
+  for (int round = 0; round < options_.max_rounds_per_position; ++round) {
+    ++stats->prepare_rounds;
+    const paxos::Ballot ballot = paxos::NextBallot(max_seen, home_);
+
+    // Prepare phase (Step 1/2).
+    ServiceRequest prepare_request = PrepareRequest{group, pos, ballot};
+    net::BroadcastResult presults =
+        co_await BroadcastToAll(&prepare_request);
+    std::vector<paxos::LastVote> votes;
+    std::optional<wal::LogEntry> decided;
+    int promised = 0;
+    for (net::TargetResult& tr : presults) {
+      if (!tr.status.ok()) continue;
+      const auto& response =
+          std::any_cast<const ServiceResponse&>(tr.response);
+      const paxos::PrepareResult& pr =
+          std::get<PrepareResponse>(response).result;
+      if (pr.decided.has_value() && !decided.has_value()) decided = pr.decided;
+      max_seen = std::max(max_seen, pr.next_bal);
+      if (pr.promised) {
+        ++promised;
+        votes.push_back(paxos::LastVote{tr.dc, pr.vote_ballot, pr.vote_value});
+      }
+    }
+
+    // Catch-up short circuit: a replica already knows the decided value.
+    if (decided.has_value()) {
+      InstanceOutcome outcome;
+      outcome.kind = decided->ContainsTxn(own_id)
+                         ? InstanceOutcome::Kind::kWon
+                         : InstanceOutcome::Kind::kLost;
+      outcome.decided = *std::move(decided);
+      co_return outcome;
+    }
+
+    if (promised < majority_) {
+      co_await sim::SleepFor(sim_, RandomBackoff());
+      continue;
+    }
+
+    // Choose the value to propose (Step 3).
+    wal::LogEntry proposal;
+    if (options_.protocol == Protocol::kPaxosCP) {
+      paxos::SelectionDecision decision = paxos::EnhancedFindWinningValue(
+          votes, promised, network_->num_datacenters(), *own,
+          options_.combine);
+      if (decision.kind == paxos::SelectionKind::kLost) {
+        // A competing value certainly won; stop before the accept phase
+        // (§5: the promoted client "stops executing the Paxos protocol
+        // before sending accept messages for the winning value").
+        InstanceOutcome outcome;
+        outcome.kind = InstanceOutcome::Kind::kLost;
+        outcome.decided = std::move(decision.value);
+        co_return outcome;
+      }
+      proposal = std::move(decision.value);
+    } else {
+      std::optional<wal::LogEntry> winning = paxos::FindWinningValue(votes);
+      proposal = winning.has_value() ? *std::move(winning) : *own;
+    }
+
+    // Accept + apply (Steps 3-5).
+    std::optional<InstanceOutcome> outcome = co_await AcceptAndApply(
+        group, pos, ballot, &proposal, own_id, &max_seen);
+    if (outcome.has_value()) co_return *outcome;
+
+    co_await sim::SleepFor(sim_, RandomBackoff());
+  }
+
+  InstanceOutcome outcome;
+  outcome.kind = InstanceOutcome::Kind::kUnavailable;
+  co_return outcome;
+}
+
+}  // namespace paxoscp::txn

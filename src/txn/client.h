@@ -1,0 +1,122 @@
+// The Transaction Client: the library an application instance links to
+// (paper §2.2 / §4). Provides begin / read / write / commit, buffers the
+// read and write sets locally, and on commit runs either the basic Paxos
+// commit protocol (Algorithm 2) or Paxos-CP (§5, combination + promotion)
+// against the Transaction Services of every datacenter.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/coro.h"
+#include "txn/messages.h"
+#include "txn/transaction.h"
+
+namespace paxoscp::txn {
+
+class TransactionClient {
+ public:
+  /// `client_uid` must be unique among all clients of this datacenter; it
+  /// makes transaction ids globally unique.
+  TransactionClient(net::Network* network, DcId home,
+                    const ClientOptions& options, uint32_t client_uid,
+                    uint64_t seed);
+
+  DcId home() const { return home_; }
+  const ClientOptions& options() const { return options_; }
+
+  /// Starts a transaction on `group`: fetches the read position from the
+  /// local Transaction Service (failing over to remote ones, paper step 1).
+  /// At most one active transaction per group per client (paper §2.2).
+  sim::Coro<Status> Begin(std::string group);
+
+  /// Snapshot read at the transaction's read position. Reads of items the
+  /// transaction already wrote return the buffered value (property A1);
+  /// all other reads observe the read-position snapshot (property A2).
+  /// A never-written item reads as the empty string.
+  sim::Coro<Result<std::string>> Read(std::string group, std::string row,
+                                      std::string attribute);
+
+  /// Buffers a write locally (paper step 3: writes are handled locally by
+  /// the Transaction Client until commit).
+  Status Write(const std::string& group, const std::string& row,
+               const std::string& attribute, std::string value);
+
+  /// Runs the commit protocol. Read-only transactions commit immediately
+  /// with no messages. Always clears the active transaction.
+  sim::Coro<CommitResult> Commit(std::string group);
+
+  /// Discards the active transaction without committing.
+  Status Abort(const std::string& group);
+
+  bool HasActiveTxn(const std::string& group) const {
+    return active_.count(group) > 0;
+  }
+  /// Read position of the active transaction (test hook).
+  LogPos ActiveReadPos(const std::string& group) const;
+  /// Id of the active transaction (0 if none); harnesses record it before
+  /// Commit so outcomes can be cross-checked against the log.
+  TxnId ActiveTxnId(const std::string& group) const;
+  /// Number of recorded snapshot reads in the active transaction.
+  size_t ActiveReadSetSize(const std::string& group) const;
+
+ private:
+  /// Outcome of running the commit protocol for one log position.
+  struct InstanceOutcome {
+    enum class Kind { kWon, kLost, kUnavailable } kind = Kind::kUnavailable;
+    /// The decided entry (kWon and kLost).
+    wal::LogEntry decided;
+  };
+
+  /// Runs one Paxos instance for `pos`, proposing `own`. Implements
+  /// Algorithm 2 (prepare / accept / apply with randomized backoff), the
+  /// leader fast path, and — for Paxos-CP — combination via
+  /// EnhancedFindWinningValue.
+  // NOTE on coroutine parameters: never references (a caller temporary
+  // bound to a reference parameter dies before the frame does) and never
+  // aggregate class types by value (miscompiled parameter-copy lifetime on
+  // GCC 12 — see tests/sim_test.cc). Aggregates are passed as pointers to
+  // objects owned by the awaiting coroutine's frame, which always outlives
+  // the child.
+  sim::Coro<InstanceOutcome> RunInstance(std::string group, LogPos pos,
+                                         const wal::LogEntry* own,
+                                         DcId leader_dc, CommitResult* stats);
+
+  /// Accept + apply with a given ballot and value. Returns kWon/kLost when
+  /// the value is decided (checking own-membership), nullopt when the
+  /// accept round failed to reach a majority (caller re-prepares).
+  sim::Coro<std::optional<InstanceOutcome>> AcceptAndApply(
+      std::string group, LogPos pos, paxos::Ballot ballot,
+      const wal::LogEntry* proposal, TxnId own_id, paxos::Ballot* max_seen);
+
+  /// Calls the home service first, then fails over to the others.
+  sim::Coro<net::CallResult> CallWithFailover(const ServiceRequest* request);
+
+  sim::Coro<net::BroadcastResult> BroadcastToAll(const ServiceRequest* request);
+
+  TimeMicros RandomBackoff();
+
+  net::Network* network_;
+  sim::Simulator* sim_;
+  DcId home_;
+  ClientOptions options_;
+  Rng rng_;
+  uint32_t client_uid_;
+  uint64_t next_seq_ = 1;
+  std::vector<DcId> all_dcs_;
+  int majority_;
+
+  struct ActiveState {
+    ActiveTxn txn;
+    /// Cache of snapshot values already read (for repeated reads).
+    std::map<wal::ItemId, std::string> read_cache;
+  };
+  std::map<std::string, ActiveState> active_;
+};
+
+}  // namespace paxoscp::txn

@@ -1,0 +1,19 @@
+#include "txn/messages.h"
+
+namespace paxoscp::txn {
+
+const char* RequestName(const ServiceRequest& request) {
+  struct Visitor {
+    const char* operator()(const BeginRequest&) const { return "begin"; }
+    const char* operator()(const ReadRequest&) const { return "read"; }
+    const char* operator()(const PrepareRequest&) const { return "prepare"; }
+    const char* operator()(const AcceptRequest&) const { return "accept"; }
+    const char* operator()(const ApplyRequest&) const { return "apply"; }
+    const char* operator()(const ClaimLeaderRequest&) const {
+      return "claim_leader";
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+}  // namespace paxoscp::txn

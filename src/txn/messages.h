@@ -1,0 +1,97 @@
+// Wire messages exchanged between the Transaction Client and the
+// Transaction Services (paper Figure 3): begin/read on the transaction
+// path, prepare/accept/apply for the Paxos commit protocol, plus the
+// leader-claim message of the per-log-position leader optimization.
+//
+// Messages travel through net::Network as std::any holding a
+// ServiceRequest / ServiceResponse variant.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "paxos/acceptor.h"
+#include "paxos/ballot.h"
+#include "wal/log.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp::txn {
+
+/// begin(groupKey): fetch the read position (paper transaction protocol
+/// step 1). The response also names the leader for the next log position
+/// (the datacenter that won the last decided entry).
+struct BeginRequest {
+  std::string group;
+};
+struct BeginResponse {
+  LogPos read_pos = 0;
+  DcId leader_dc = kNoDc;
+};
+
+/// read(groupKey, key): snapshot read at the transaction's read position
+/// (step 2). The service catches its log up through read_pos first.
+struct ReadRequest {
+  std::string group;
+  wal::ItemId item;
+  LogPos read_pos = 0;
+};
+struct ReadResponse {
+  Status status;
+  wal::ItemRead read;
+};
+
+/// Paxos prepare (Algorithm 1, receive(cid, prepare, propNum)).
+struct PrepareRequest {
+  std::string group;
+  LogPos pos = 0;
+  paxos::Ballot ballot;
+};
+struct PrepareResponse {
+  paxos::PrepareResult result;
+};
+
+/// Paxos accept (Algorithm 1, receive(cid, accept, propNum, value)).
+struct AcceptRequest {
+  std::string group;
+  LogPos pos = 0;
+  paxos::Ballot ballot;
+  wal::LogEntry value;
+};
+struct AcceptResponse {
+  paxos::AcceptResult result;
+};
+
+/// Paxos apply (Algorithm 1, receive(cid, apply, propNum, value)).
+struct ApplyRequest {
+  std::string group;
+  LogPos pos = 0;
+  paxos::Ballot ballot;
+  wal::LogEntry value;
+};
+struct ApplyResponse {
+  bool ok = false;
+};
+
+/// Leader fast-path claim (paper §4.1): the first claimant of a position at
+/// the leader datacenter may skip the prepare phase and use ballot round 0.
+struct ClaimLeaderRequest {
+  std::string group;
+  LogPos pos = 0;
+};
+struct ClaimLeaderResponse {
+  bool granted = false;
+};
+
+using ServiceRequest =
+    std::variant<BeginRequest, ReadRequest, PrepareRequest, AcceptRequest,
+                 ApplyRequest, ClaimLeaderRequest>;
+using ServiceResponse =
+    std::variant<BeginResponse, ReadResponse, PrepareResponse, AcceptResponse,
+                 ApplyResponse, ClaimLeaderResponse>;
+
+/// Human-readable message-type name (for traces and message accounting).
+const char* RequestName(const ServiceRequest& request);
+
+}  // namespace paxoscp::txn

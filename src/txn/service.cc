@@ -1,0 +1,278 @@
+#include "txn/service.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "paxos/value_selection.h"
+
+namespace paxoscp::txn {
+
+namespace {
+
+constexpr int kMaxLearnAttempts = 8;
+constexpr int kMaxCatchUpSteps = 4096;
+
+std::vector<DcId> AllDatacenters(int d) {
+  std::vector<DcId> all(d);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+TransactionService::TransactionService(DcId dc, net::Network* network,
+                                       kvstore::MultiVersionStore* store,
+                                       const ServiceTimeModel& model,
+                                       uint64_t seed)
+    : dc_(dc),
+      network_(network),
+      store_(store),
+      model_(model),
+      rng_(seed) {}
+
+TransactionService::GroupState* TransactionService::Group(
+    const std::string& group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    it = groups_.emplace(group, std::make_unique<GroupState>(store_, group))
+             .first;
+  }
+  return it->second.get();
+}
+
+wal::WriteAheadLog* TransactionService::GroupLog(const std::string& group) {
+  return &Group(group)->log;
+}
+
+paxos::Acceptor* TransactionService::GroupAcceptor(const std::string& group) {
+  return &Group(group)->acceptor;
+}
+
+sim::Coro<std::any> TransactionService::Handle(DcId from,
+                                               const std::any* request) {
+  (void)from;
+  const ServiceRequest& req = std::any_cast<const ServiceRequest&>(*request);
+  ServiceResponse response;
+  if (const auto* r = std::get_if<BeginRequest>(&req)) {
+    response = co_await HandleBegin(r);
+  } else if (const auto* r = std::get_if<ReadRequest>(&req)) {
+    response = co_await HandleRead(r);
+  } else if (const auto* r = std::get_if<PrepareRequest>(&req)) {
+    response = co_await HandlePrepare(r);
+  } else if (const auto* r = std::get_if<AcceptRequest>(&req)) {
+    response = co_await HandleAccept(r);
+  } else if (const auto* r = std::get_if<ApplyRequest>(&req)) {
+    response = co_await HandleApply(r);
+  } else if (const auto* r = std::get_if<ClaimLeaderRequest>(&req)) {
+    response = co_await HandleClaimLeader(r);
+  }
+  co_return std::any(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleBegin(
+    const BeginRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.begin);
+  GroupState* gs = Group(request->group);
+  BeginResponse response;
+  response.read_pos = gs->log.MaxDecided();
+  // Leader for the next position = datacenter of the previous winner. For
+  // position 1 of a fresh log there is no previous winner; the leader MUST
+  // still be the same at every datacenter (datacenter 0 by convention) —
+  // otherwise two clients could each obtain a round-0 fast-path grant from
+  // "their" leader and produce two distinct round-0 ballots, which the
+  // recovery rule (max ballot wins) cannot arbitrate safely.
+  response.leader_dc = 0;
+  if (response.read_pos > 0) {
+    Result<wal::LogEntry> last = gs->log.GetEntry(response.read_pos);
+    if (last.ok() && last->winner_dc != kNoDc) {
+      response.leader_dc = last->winner_dc;
+    }
+  }
+  co_return ServiceResponse(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleRead(
+    const ReadRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.read);
+  GroupState* gs = Group(request->group);
+  ReadResponse response;
+  response.status = co_await CatchUp(gs, request->read_pos);
+  if (response.status.ok()) {
+    response.read = gs->log.ReadItem(request->item, request->read_pos);
+    ++reads_served_;
+  }
+  co_return ServiceResponse(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandlePrepare(
+    const PrepareRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.prepare);
+  GroupState* gs = Group(request->group);
+  PrepareResponse response;
+  response.result = gs->acceptor.OnPrepare(request->pos, request->ballot);
+  co_return ServiceResponse(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleAccept(
+    const AcceptRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.accept);
+  GroupState* gs = Group(request->group);
+  AcceptResponse response;
+  response.result =
+      gs->acceptor.OnAccept(request->pos, request->ballot, request->value);
+  co_return ServiceResponse(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleApply(
+    const ApplyRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.apply);
+  GroupState* gs = Group(request->group);
+  Status s = gs->acceptor.OnApply(request->pos, request->ballot, request->value);
+  if (!s.ok()) {
+    PAXOSCP_LOG(kError) << "dc " << dc_ << " apply failed at "
+                        << request->group << "[" << request->pos
+                        << "]: " << s.ToString();
+  }
+  co_return ServiceResponse(ApplyResponse{s.ok()});
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleClaimLeader(
+    const ClaimLeaderRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.claim);
+  GroupState* gs = Group(request->group);
+  ClaimLeaderResponse response;
+  response.granted = gs->acceptor.TryClaimLeadership(request->pos);
+  co_return ServiceResponse(std::move(response));
+}
+
+void TransactionService::StartBackgroundApplier(TimeMicros interval,
+                                                int64_t gc_keep_versions) {
+  const bool was_running = applier_interval_ > 0;
+  applier_interval_ = interval;
+  gc_keep_versions_ = gc_keep_versions;
+  if (!was_running && interval > 0) {
+    network_->simulator()->ScheduleAfter(interval,
+                                         [this] { BackgroundApplyTick(); });
+  }
+}
+
+void TransactionService::BackgroundApplyTick() {
+  for (auto& [group, gs] : groups_) {
+    // Apply as far as contiguous entries allow; gaps are left for the
+    // read-path learner (the background process never runs Paxos).
+    LogPos missing = 0;
+    Status s = gs->log.ApplyThrough(gs->log.MaxDecided(), &missing);
+    (void)s;  // FailedPrecondition on a gap is expected and fine
+    ++background_applies_;
+    if (gc_keep_versions_ >= 0) {
+      const LogPos applied = gs->log.AppliedThrough();
+      if (applied > static_cast<LogPos>(gc_keep_versions_)) {
+        store_->TruncateAllVersions(
+            static_cast<Timestamp>(applied - gc_keep_versions_));
+      }
+    }
+  }
+  if (applier_interval_ > 0) {
+    network_->simulator()->ScheduleAfter(applier_interval_,
+                                         [this] { BackgroundApplyTick(); });
+  }
+}
+
+sim::Coro<Status> TransactionService::CatchUp(GroupState* gs, LogPos target) {
+  for (int step = 0; step < kMaxCatchUpSteps; ++step) {
+    LogPos missing = 0;
+    Status s = gs->log.ApplyThrough(target, &missing);
+    if (s.ok()) co_return s;
+    if (s.code() != Status::Code::kFailedPrecondition) co_return s;
+    Status learned = co_await LearnEntry(gs->log.group(), missing);
+    if (!learned.ok()) co_return learned;
+  }
+  co_return Status::Internal("catch-up did not converge");
+}
+
+sim::Coro<Status> TransactionService::LearnEntry(std::string group,
+                                                 LogPos pos) {
+  GroupState* gs = Group(group);
+  if (gs->log.HasEntry(pos)) co_return Status::OK();
+  ++learn_instances_;
+  const int d = network_->num_datacenters();
+  const int majority = d / 2 + 1;
+  const std::vector<DcId> all = AllDatacenters(d);
+  sim::Simulator* sim = network_->simulator();
+
+  paxos::Ballot ballot =
+      paxos::NextBallot(gs->acceptor.ReadState(pos).next_bal, dc_);
+  net::BroadcastOptions bopts;  // wait for all (or per-call timeout)
+
+  for (int attempt = 0; attempt < kMaxLearnAttempts; ++attempt) {
+    if (gs->log.HasEntry(pos)) co_return Status::OK();  // learned meanwhile
+    // Prepare phase: discover the decided value or the highest vote.
+    const std::any prepare_payload(
+        ServiceRequest(PrepareRequest{group, pos, ballot}));
+    net::BroadcastResult presults =
+        co_await network_->Broadcast(dc_, all, prepare_payload, bopts);
+
+    std::vector<paxos::LastVote> votes;
+    std::optional<wal::LogEntry> decided;
+    paxos::Ballot max_seen = ballot;
+    int promised = 0;
+    for (net::TargetResult& tr : presults) {
+      if (!tr.status.ok()) continue;
+      const auto& resp = std::any_cast<const ServiceResponse&>(tr.response);
+      const paxos::PrepareResult& pr =
+          std::get<PrepareResponse>(resp).result;
+      if (pr.decided.has_value() && !decided.has_value()) {
+        decided = pr.decided;
+      }
+      max_seen = std::max(max_seen, pr.next_bal);
+      if (pr.promised) {
+        ++promised;
+        votes.push_back(
+            paxos::LastVote{tr.dc, pr.vote_ballot, pr.vote_value});
+      }
+    }
+    if (decided.has_value()) {
+      co_return gs->acceptor.OnApply(pos, ballot, *decided);
+    }
+    if (promised >= majority) {
+      std::optional<wal::LogEntry> winning = paxos::FindWinningValue(votes);
+      if (!winning.has_value()) {
+        // A quorum reports bottom: the position is genuinely undecided. The
+        // learner must not invent a value; the caller's read fails until
+        // some client decides the position.
+        co_return Status::NotFound("log position " + std::to_string(pos) +
+                                   " is undecided");
+      }
+      const std::any accept_payload(
+          ServiceRequest(AcceptRequest{group, pos, ballot, *winning}));
+      net::BroadcastResult aresults =
+          co_await network_->Broadcast(dc_, all, accept_payload, bopts);
+      int accepted = 0;
+      for (net::TargetResult& tr : aresults) {
+        if (!tr.status.ok()) continue;
+        const auto& resp = std::any_cast<const ServiceResponse&>(tr.response);
+        const paxos::AcceptResult& ar = std::get<AcceptResponse>(resp).result;
+        if (ar.accepted) {
+          ++accepted;
+        } else {
+          max_seen = std::max(max_seen, ar.next_bal);
+        }
+      }
+      if (accepted >= majority) {
+        // Decided: propagate the outcome (fire-and-forget) and record it.
+        ServiceRequest apply = ApplyRequest{group, pos, ballot, *winning};
+        network_->Broadcast(dc_, all, std::any(apply), bopts);
+        co_return gs->acceptor.OnApply(pos, ballot, *winning);
+      }
+    }
+    co_await sim::SleepFor(
+        sim, rng_.UniformRange(5 * kMillisecond, 50 * kMillisecond));
+    ballot = paxos::NextBallot(max_seen, dc_);
+  }
+  co_return Status::Unavailable("could not learn log position " +
+                                std::to_string(pos));
+}
+
+}  // namespace paxoscp::txn

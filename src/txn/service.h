@@ -1,0 +1,129 @@
+// The Transaction Service: one per datacenter (paper §2.2). Serves begin
+// and snapshot-read requests against the local key-value store, hosts the
+// Paxos acceptor for every transaction group's log, and — for fault
+// tolerance — learns missing log entries by running Paxos instances of its
+// own ("If a Transaction Service does not receive all Paxos messages for a
+// log position ... it executes a Paxos instance for the missing log entry
+// to learn the winning value", paper §4.1).
+//
+// Service processes are stateless: all durable state lives in the
+// key-value store (acceptor rows, the replicated log, data rows), so a
+// Simulate[d] restart loses nothing but in-flight requests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "kvstore/store.h"
+#include "net/network.h"
+#include "paxos/acceptor.h"
+#include "sim/coro.h"
+#include "txn/messages.h"
+#include "wal/log.h"
+
+namespace paxoscp::txn {
+
+/// Simulated processing cost of each request type, calibrated in
+/// EXPERIMENTS.md against the paper's testbed (HBase on EBS-backed EC2
+/// c1.medium nodes in 2012; storage operations dominated intra-datacenter
+/// network hops). The calibration targets the paper's observed contention
+/// regime: ~42% of basic-Paxos transactions abort with 4 staggered clients
+/// at 1 txn/s each, which requires a transaction to span more than one
+/// inter-arrival gap.
+struct ServiceTimeModel {
+  TimeMicros begin = 10 * kMillisecond;    // read log metadata
+  TimeMicros read = 60 * kMillisecond;     // snapshot read incl. apply
+  TimeMicros prepare = 15 * kMillisecond;  // acceptor-state read + CAS
+  TimeMicros accept = 15 * kMillisecond;
+  TimeMicros apply = 20 * kMillisecond;    // log write
+  TimeMicros claim = 5 * kMillisecond;
+};
+
+class TransactionService {
+ public:
+  TransactionService(DcId dc, net::Network* network,
+                     kvstore::MultiVersionStore* store,
+                     const ServiceTimeModel& model, uint64_t seed);
+
+  DcId dc() const { return dc_; }
+  kvstore::MultiVersionStore* store() const { return store_; }
+
+  /// Network entry point: dispatches a ServiceRequest and produces the
+  /// matching ServiceResponse. Registered as the datacenter's endpoint.
+  /// `request` is owned by the network layer and outlives this coroutine.
+  sim::Coro<std::any> Handle(DcId from, const std::any* request);
+
+  /// Direct access to a group's log / acceptor (creating them on first
+  /// use). Used by the cluster for setup and by invariant checkers.
+  wal::WriteAheadLog* GroupLog(const std::string& group);
+  paxos::Acceptor* GroupAcceptor(const std::string& group);
+
+  /// Makes sure this replica knows the decided entry at `pos`, running a
+  /// learning Paxos instance against the other datacenters if necessary.
+  /// Unavailable when no quorum is reachable; NotFound when the position is
+  /// genuinely undecided.
+  sim::Coro<Status> LearnEntry(std::string group, LogPos pos);
+
+  /// Statistics.
+  uint64_t learn_instances() const { return learn_instances_; }
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t background_applies() const { return background_applies_; }
+
+  /// Starts the paper's background application process (§3.2: committed
+  /// writes "may be performed later by a background process"): every
+  /// `interval`, applies decided log entries of every known group to the
+  /// data rows and, when `gc_keep_versions` >= 0, garbage-collects row
+  /// versions older than (applied watermark - gc_keep_versions).
+  void StartBackgroundApplier(TimeMicros interval,
+                              int64_t gc_keep_versions = -1);
+  /// Stops the periodic applier (its next tick will not reschedule).
+  /// Needed before Simulator::Run() can drain the event queue.
+  void StopBackgroundApplier() { applier_interval_ = 0; }
+
+ private:
+  struct GroupState {
+    explicit GroupState(kvstore::MultiVersionStore* store,
+                        const std::string& group)
+        : log(store, group), acceptor(store, &log) {}
+    wal::WriteAheadLog log;
+    paxos::Acceptor acceptor;
+  };
+
+  GroupState* Group(const std::string& group);
+
+  // Sub-handlers take a pointer to the request held in Handle's frame:
+  // coroutine parameters must be neither references nor by-value aggregates
+  // (lifetime hazards; see client.h).
+  sim::Coro<ServiceResponse> HandleBegin(const BeginRequest* request);
+  sim::Coro<ServiceResponse> HandleRead(const ReadRequest* request);
+  sim::Coro<ServiceResponse> HandlePrepare(const PrepareRequest* request);
+  sim::Coro<ServiceResponse> HandleAccept(const AcceptRequest* request);
+  sim::Coro<ServiceResponse> HandleApply(const ApplyRequest* request);
+  sim::Coro<ServiceResponse> HandleClaimLeader(
+      const ClaimLeaderRequest* request);
+
+  /// Brings the group's applied watermark up to `target`, learning missing
+  /// entries on the way.
+  sim::Coro<Status> CatchUp(GroupState* group_state, LogPos target);
+
+  DcId dc_;
+  net::Network* network_;
+  kvstore::MultiVersionStore* store_;
+  ServiceTimeModel model_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<GroupState>> groups_;
+
+  void BackgroundApplyTick();
+
+  uint64_t learn_instances_ = 0;
+  uint64_t reads_served_ = 0;
+  uint64_t background_applies_ = 0;
+  TimeMicros applier_interval_ = 0;
+  int64_t gc_keep_versions_ = -1;
+};
+
+}  // namespace paxoscp::txn

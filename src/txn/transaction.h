@@ -1,0 +1,103 @@
+// Client-side transaction state and commit-outcome types.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "paxos/value_selection.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp::txn {
+
+/// Which commit protocol a client runs (paper §4 vs §5).
+enum class Protocol {
+  kBasicPaxos,
+  kPaxosCP,
+};
+
+const char* ProtocolName(Protocol protocol);
+
+/// An active (uncommitted) transaction: buffered read provenance and writes.
+/// Exists only inside one application instance (paper §2.2); lost state
+/// means an implicit abort.
+struct ActiveTxn {
+  std::string group;
+  TxnId id = 0;
+  LogPos read_pos = 0;
+  DcId leader_dc = kNoDc;  // leader for read_pos + 1
+  std::vector<wal::ReadRecord> reads;
+  /// Buffered writes, keyed by item; last write wins (ordered map gives the
+  /// record a deterministic encoding).
+  std::map<wal::ItemId, std::string> writes;
+
+  bool Read(const wal::ItemId& item, std::string* value) const;
+  bool HasRecordedRead(const wal::ItemId& item) const;
+
+  /// Freezes this transaction into the replicable record.
+  wal::TxnRecord ToRecord(DcId origin_dc) const;
+};
+
+/// Result of TransactionClient::Commit, with the bookkeeping the paper's
+/// evaluation reports (promotion rounds, combination, latency).
+struct CommitResult {
+  /// OK => committed. Aborted => lost to a conflicting transaction.
+  /// Unavailable/TimedOut => could not complete the protocol.
+  Status status;
+  bool committed = false;
+  bool read_only = false;
+  /// Log position where the transaction was written (committed only).
+  LogPos position = 0;
+  /// Number of promotions taken (0 = won its first commit position).
+  int promotions = 0;
+  /// Transactions this client merged into its winning proposal.
+  int combined_others = 0;
+  /// True if the transaction committed inside an entry proposed by another
+  /// client (our record was combined into someone else's winning list).
+  bool committed_via_other = false;
+  /// True if the leader fast path (skip prepare) was used successfully.
+  bool fast_path = false;
+  int prepare_rounds = 0;
+  TimeMicros latency = 0;
+};
+
+/// Knobs of the client commit protocol. Defaults reproduce the paper's
+/// configuration; ablation benches override individual fields.
+struct ClientOptions {
+  Protocol protocol = Protocol::kPaxosCP;
+  /// Maximum number of promotions before giving up (-1 = unlimited, as in
+  /// the paper's evaluation).
+  int promotion_cap = -1;
+  /// Per-message timeout (paper: two seconds).
+  TimeMicros rpc_timeout = 2 * kSecond;
+  /// Randomized retry backoff bounds (Algorithm 2: "sleep for random time
+  /// period").
+  TimeMicros backoff_min = 5 * kMillisecond;
+  TimeMicros backoff_max = 50 * kMillisecond;
+  /// Leader-per-log-position fast path (paper §4.1). On by default, as in
+  /// the paper's prototype.
+  bool leader_optimization = true;
+  paxos::CombinePolicy combine;
+  /// How long to wait for prepare/accept responses.
+  net::WaitPolicy wait_policy = net::WaitPolicy::kAll;
+  TimeMicros quorum_grace = 0;  // for WaitPolicy::kQuorumEarly
+  /// Safety valve: give up with Unavailable after this many prepare rounds
+  /// for a single log position.
+  int max_rounds_per_position = 32;
+};
+
+/// True if `txn` reads any item written by a transaction in `winners` — the
+/// promotion conflict check (paper §5): a losing transaction may only be
+/// promoted past entries whose writes it did not read.
+bool PromotionConflicts(const wal::TxnRecord& txn,
+                        const wal::LogEntry& winners);
+
+/// Items both read by `txn` and written by `winners` (diagnostics/tests).
+std::vector<wal::ItemId> ConflictingItems(const wal::TxnRecord& txn,
+                                          const wal::LogEntry& winners);
+
+}  // namespace paxoscp::txn

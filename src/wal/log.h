@@ -1,0 +1,93 @@
+// Per-datacenter replicated write-ahead log, stored inside the local
+// multi-version key-value store (as Megastore stores its log in Bigtable).
+//
+// The log provides:
+//   * SetEntry / GetEntry — decided values per position, idempotent, with a
+//     local (R1) guard: conflicting re-writes of a position are rejected as
+//     Corruption, which would indicate a Paxos safety violation.
+//   * ApplyThrough — the "background process or as needed to serve a read
+//     request" application of committed writes to data rows (paper §3.2),
+//     stamping each write with its commit log position and recording
+//     per-attribute provenance so reads can report which transaction's
+//     write they observed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kvstore/store.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp::wal {
+
+/// Value + provenance returned by snapshot reads. A read of a never-written
+/// item yields the initial state: empty value, writer 0, position 0.
+struct ItemRead {
+  std::string value;
+  TxnId writer = 0;
+  LogPos written_pos = 0;
+  bool found = false;  // false => initial state
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog(kvstore::MultiVersionStore* store, std::string group);
+
+  const std::string& group() const { return group_; }
+
+  /// Records the decided entry for `pos`. Idempotent; returns Corruption if
+  /// a different value was already decided for this position (R1 violation).
+  Status SetEntry(LogPos pos, const LogEntry& entry);
+
+  /// Reads the decided entry at `pos`; NotFound if this replica has not
+  /// learned it yet.
+  Result<LogEntry> GetEntry(LogPos pos) const;
+
+  bool HasEntry(LogPos pos) const;
+
+  /// Highest position this replica knows to be decided (0 = none). This is
+  /// the "read position" handed to new transactions (paper step 1).
+  LogPos MaxDecided() const;
+
+  /// Highest position whose writes have been applied to the data rows.
+  LogPos AppliedThrough() const;
+
+  /// Applies decided entries (AppliedThrough, target] to the data rows.
+  /// Returns FailedPrecondition if this replica has a gap — `first_missing`
+  /// (when non-null) receives the first missing position, which the caller
+  /// (TransactionService) must learn via Paxos before retrying.
+  Status ApplyThrough(LogPos target, LogPos* first_missing = nullptr);
+
+  /// Snapshot read of one item at `read_pos` (requires ApplyThrough has
+  /// reached read_pos; the TransactionService guarantees this).
+  ItemRead ReadItem(const ItemId& item, LogPos read_pos) const;
+
+  /// Loads initial data rows at position 0 (the pre-transaction state used
+  /// by workload setup). Writes value attributes only; provenance is 0/0.
+  Status LoadInitialRow(const std::string& row,
+                        const std::map<std::string, std::string>& attributes);
+
+  /// All decided entries, for invariant checking.
+  std::map<LogPos, LogEntry> AllEntries() const;
+
+  /// Key of a data row in the underlying store (exposed for tests).
+  std::string DataKey(const std::string& row) const;
+
+ private:
+  std::string EntryKey(LogPos pos) const;
+  std::string MetaKey() const;
+  std::string AppliedKey() const;
+
+  void BumpMaxDecided(LogPos pos);
+
+  kvstore::MultiVersionStore* store_;
+  std::string group_;
+};
+
+/// Zero-padded decimal rendering of a log position so lexicographic key
+/// order matches numeric order in prefix scans.
+std::string PadPos(LogPos pos);
+
+}  // namespace paxoscp::wal

@@ -1,0 +1,146 @@
+#include "wal/log_entry.h"
+
+#include <sstream>
+
+#include "common/coding.h"
+
+namespace paxoscp::wal {
+
+namespace {
+
+void EncodeItem(std::string* dst, const ItemId& item) {
+  PutLengthPrefixed(dst, item.row);
+  PutLengthPrefixed(dst, item.attribute);
+}
+
+bool DecodeItem(std::string_view* in, ItemId* item) {
+  std::string_view row, attr;
+  if (!GetLengthPrefixed(in, &row)) return false;
+  if (!GetLengthPrefixed(in, &attr)) return false;
+  item->row = std::string(row);
+  item->attribute = std::string(attr);
+  return true;
+}
+
+}  // namespace
+
+bool TxnRecord::Reads(const ItemId& it) const {
+  for (const ReadRecord& r : reads) {
+    if (r.item == it) return true;
+  }
+  return false;
+}
+
+bool TxnRecord::Writes(const ItemId& it) const {
+  for (const WriteRecord& w : writes) {
+    if (w.item == it) return true;
+  }
+  return false;
+}
+
+std::string LogEntry::Encode() const {
+  std::string out;
+  PutVarsint64(&out, winner_dc);
+  PutVarint64(&out, txns.size());
+  for (const TxnRecord& t : txns) {
+    PutFixed64(&out, t.id);
+    PutVarsint64(&out, t.origin_dc);
+    PutVarint64(&out, t.read_pos);
+    PutVarint64(&out, t.reads.size());
+    for (const ReadRecord& r : t.reads) {
+      EncodeItem(&out, r.item);
+      PutFixed64(&out, r.observed_writer);
+      PutVarint64(&out, r.observed_pos);
+    }
+    PutVarint64(&out, t.writes.size());
+    for (const WriteRecord& w : t.writes) {
+      EncodeItem(&out, w.item);
+      PutLengthPrefixed(&out, w.value);
+    }
+  }
+  return out;
+}
+
+Result<LogEntry> LogEntry::Decode(std::string_view data) {
+  LogEntry entry;
+  int64_t winner = 0;
+  if (!GetVarsint64(&data, &winner)) {
+    return Status::Corruption("log entry: bad winner_dc");
+  }
+  entry.winner_dc = static_cast<DcId>(winner);
+  uint64_t ntxns = 0;
+  if (!GetVarint64(&data, &ntxns)) {
+    return Status::Corruption("log entry: bad txn count");
+  }
+  entry.txns.reserve(ntxns);
+  for (uint64_t i = 0; i < ntxns; ++i) {
+    TxnRecord t;
+    int64_t origin = 0;
+    uint64_t nreads = 0, nwrites = 0;
+    if (!GetFixed64(&data, &t.id) || !GetVarsint64(&data, &origin) ||
+        !GetVarint64(&data, &t.read_pos) || !GetVarint64(&data, &nreads)) {
+      return Status::Corruption("log entry: bad txn header");
+    }
+    t.origin_dc = static_cast<DcId>(origin);
+    t.reads.reserve(nreads);
+    for (uint64_t j = 0; j < nreads; ++j) {
+      ReadRecord r;
+      if (!DecodeItem(&data, &r.item) ||
+          !GetFixed64(&data, &r.observed_writer) ||
+          !GetVarint64(&data, &r.observed_pos)) {
+        return Status::Corruption("log entry: bad read record");
+      }
+      t.reads.push_back(std::move(r));
+    }
+    if (!GetVarint64(&data, &nwrites)) {
+      return Status::Corruption("log entry: bad write count");
+    }
+    t.writes.reserve(nwrites);
+    for (uint64_t j = 0; j < nwrites; ++j) {
+      WriteRecord w;
+      std::string_view value;
+      if (!DecodeItem(&data, &w.item) || !GetLengthPrefixed(&data, &value)) {
+        return Status::Corruption("log entry: bad write record");
+      }
+      w.value = std::string(value);
+      t.writes.push_back(std::move(w));
+    }
+    entry.txns.push_back(std::move(t));
+  }
+  if (!data.empty()) {
+    return Status::Corruption("log entry: trailing bytes");
+  }
+  return entry;
+}
+
+uint64_t LogEntry::Fingerprint() const { return Fingerprint64(Encode()); }
+
+bool LogEntry::ContainsTxn(TxnId id) const {
+  for (const TxnRecord& t : txns) {
+    if (t.id == id) return true;
+  }
+  return false;
+}
+
+bool LogEntry::WritesItemReadBy(const TxnRecord& t) const {
+  for (const ReadRecord& r : t.reads) {
+    for (const TxnRecord& winner : txns) {
+      if (winner.Writes(r.item)) return true;
+    }
+  }
+  return false;
+}
+
+std::string LogEntry::ToString() const {
+  std::ostringstream os;
+  os << "LogEntry{winner_dc=" << winner_dc << ", txns=[";
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << TxnIdToString(txns[i].id) << "(r@" << txns[i].read_pos << ","
+       << txns[i].reads.size() << "r/" << txns[i].writes.size() << "w)";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace paxoscp::wal

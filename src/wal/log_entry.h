@@ -1,0 +1,101 @@
+// Write-ahead-log data model (paper §3.2).
+//
+// Each transaction group has one log; each log position holds one LogEntry;
+// a LogEntry is an *ordered list* of transactions (a single transaction
+// under basic Paxos; possibly several under Paxos-CP combination). The
+// entry is the "value" that a Paxos instance decides for that position.
+//
+// TxnRecords carry full read provenance (which transaction wrote the version
+// each read observed) so that the serializability checker can validate the
+// reads-from relation of the final history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace paxoscp::wal {
+
+/// A data item inside a transaction group: a (row, attribute) pair.
+/// The paper's evaluation uses a single row whose attributes are the items.
+struct ItemId {
+  std::string row;
+  std::string attribute;
+
+  bool operator==(const ItemId&) const = default;
+  bool operator<(const ItemId& other) const {
+    if (row != other.row) return row < other.row;
+    return attribute < other.attribute;
+  }
+  std::string ToString() const { return row + "." + attribute; }
+};
+
+/// One read performed by a transaction, with observed provenance:
+/// the id of the transaction whose write produced the value we saw and the
+/// log position of that write (0/0 for the initial, unwritten state).
+struct ReadRecord {
+  ItemId item;
+  TxnId observed_writer = 0;
+  LogPos observed_pos = 0;
+
+  bool operator==(const ReadRecord&) const = default;
+};
+
+/// One buffered write of a transaction.
+struct WriteRecord {
+  ItemId item;
+  std::string value;
+
+  bool operator==(const WriteRecord&) const = default;
+};
+
+/// A committed (or commit-attempting) transaction's payload: everything
+/// needed to replicate it and to decide conflicts against it.
+struct TxnRecord {
+  TxnId id = 0;
+  DcId origin_dc = kNoDc;
+  /// The log position whose snapshot all reads observed (paper (A2)).
+  LogPos read_pos = 0;
+  std::vector<ReadRecord> reads;
+  std::vector<WriteRecord> writes;
+
+  bool operator==(const TxnRecord&) const = default;
+
+  /// True if this transaction read item `it`.
+  bool Reads(const ItemId& it) const;
+  /// True if this transaction writes item `it`.
+  bool Writes(const ItemId& it) const;
+};
+
+/// The value decided for one log position: an ordered list of transactions.
+/// Apply order is list order; later writes of the same item win.
+struct LogEntry {
+  std::vector<TxnRecord> txns;
+  /// Datacenter of the client that proposed the winning value; it is the
+  /// leader for the next log position (paper §4.1, "Paxos Optimizations").
+  DcId winner_dc = kNoDc;
+
+  bool operator==(const LogEntry&) const = default;
+
+  /// Serializes to a compact binary string (varint-based).
+  std::string Encode() const;
+  /// Parses an encoded entry; Corruption on malformed input.
+  static Result<LogEntry> Decode(std::string_view data);
+
+  /// Content fingerprint; two entries are the same Paxos value iff their
+  /// fingerprints match (used for vote counting and R1 checks).
+  uint64_t Fingerprint() const;
+
+  bool ContainsTxn(TxnId id) const;
+  /// True if transaction `t` reads any item written by any transaction in
+  /// this entry (the paper's promotion conflict test).
+  bool WritesItemReadBy(const TxnRecord& t) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace paxoscp::wal

@@ -1,0 +1,55 @@
+#include "workload/generator.h"
+
+#include <map>
+
+namespace paxoscp::workload {
+
+Generator::Generator(const WorkloadConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(static_cast<uint64_t>(
+                config.num_attributes > 0 ? config.num_attributes : 1),
+            config.zipf_theta) {}
+
+std::string Generator::AttributeName(int i) {
+  return "a" + std::to_string(i);
+}
+
+std::string Generator::RandomValue() {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(config_.value_size);
+  for (int i = 0; i < config_.value_size; ++i) {
+    out.push_back(kAlphabet[rng_.Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+int Generator::NextAttributeIndex() {
+  if (config_.zipfian) return static_cast<int>(zipf_.Next(&rng_));
+  return static_cast<int>(rng_.Uniform(config_.num_attributes));
+}
+
+std::vector<Op> Generator::NextTxnOps() {
+  std::vector<Op> ops;
+  ops.reserve(config_.ops_per_txn);
+  for (int i = 0; i < config_.ops_per_txn; ++i) {
+    Op op;
+    op.is_read = rng_.Bernoulli(config_.read_fraction);
+    op.attribute = AttributeName(NextAttributeIndex());
+    if (!op.is_read) op.value = RandomValue();
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::map<std::string, std::string> Generator::InitialRow() {
+  std::map<std::string, std::string> row;
+  for (int i = 0; i < config_.num_attributes; ++i) {
+    row[AttributeName(i)] = RandomValue();
+  }
+  return row;
+}
+
+}  // namespace paxoscp::workload

@@ -1,0 +1,64 @@
+// Transactional YCSB-like workload generator (substitutes for the extended
+// YCSB of paper ref [12]). Reproduces the evaluation workload of §6: each
+// transaction performs `ops_per_txn` operations, each a read or a write of
+// an attribute chosen at random from a single-row entity group; the level
+// of data contention is set by the total number of attributes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace paxoscp::workload {
+
+struct WorkloadConfig {
+  std::string group = "entity_group";
+  std::string row = "row0";
+  /// Total attributes in the entity group (paper Figure 6 sweeps this:
+  /// 20 => each 10-op txn touches 50% of the items, 500 => 2%).
+  int num_attributes = 100;
+  int ops_per_txn = 10;
+  /// Probability an operation is a read (paper: 50% reads, 50% writes).
+  double read_fraction = 0.5;
+  /// Uniform attribute choice by default (as in the paper); optionally
+  /// Zipfian-skewed for the contention-skew extension benches.
+  bool zipfian = false;
+  double zipf_theta = 0.99;
+  /// Length of generated attribute values.
+  int value_size = 16;
+};
+
+/// One generated operation.
+struct Op {
+  bool is_read = true;
+  std::string attribute;
+  std::string value;  // writes only
+};
+
+class Generator {
+ public:
+  Generator(const WorkloadConfig& config, uint64_t seed);
+
+  /// Operations of one transaction.
+  std::vector<Op> NextTxnOps();
+
+  /// Initial attribute map for pre-loading the entity-group row.
+  std::map<std::string, std::string> InitialRow();
+
+  /// Attribute name for index i ("a0", "a1", ...).
+  static std::string AttributeName(int i);
+
+  std::string RandomValue();
+
+ private:
+  int NextAttributeIndex();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace paxoscp::workload

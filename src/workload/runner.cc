@@ -1,0 +1,188 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "sim/coro.h"
+
+namespace paxoscp::workload {
+
+namespace {
+
+/// Shared mutable state of one experiment run.
+struct RunContext {
+  core::Cluster* cluster = nullptr;
+  RunnerConfig config;
+  RunStats stats;
+  int threads_done = 0;
+};
+
+/// Ensures a slot exists in the by-round vectors.
+void EnsureRound(RunStats* stats, int round) {
+  while (static_cast<int>(stats->commits_by_round.size()) <= round) {
+    stats->commits_by_round.push_back(0);
+    stats->latency_by_round.emplace_back();
+  }
+}
+
+sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
+                          Generator* generator) {
+  const std::string& group = ctx->config.workload.group;
+  const std::string& row = ctx->config.workload.row;
+  RunStats& stats = ctx->stats;
+  const DcId dc = client->home();
+
+  ++stats.attempted;
+  ++stats.attempted_by_dc[dc];
+
+  Status begin = co_await client->Begin(group);
+  if (!begin.ok()) {
+    ++stats.failed;
+    co_return;
+  }
+  const TxnId id = client->ActiveTxnId(group);
+
+  for (const Op& op : generator->NextTxnOps()) {
+    if (op.is_read) {
+      Result<std::string> value = co_await client->Read(group, row,
+                                                        op.attribute);
+      if (!value.ok()) {
+        // Read could not be served anywhere (e.g. total outage): abandon.
+        (void)client->Abort(group);
+        ++stats.failed;
+        core::ClientOutcome outcome;
+        outcome.id = id;
+        outcome.committed = false;
+        stats.outcomes.push_back(outcome);
+        co_return;
+      }
+    } else {
+      (void)client->Write(group, row, op.attribute, op.value);
+    }
+  }
+
+  txn::CommitResult result = co_await client->Commit(group);
+
+  core::ClientOutcome outcome;
+  outcome.id = id;
+  outcome.committed = result.committed;
+  outcome.read_only = result.read_only;
+  outcome.position = result.position;
+  outcome.unknown = !result.committed && !result.status.IsAborted();
+  stats.outcomes.push_back(outcome);
+
+  if (result.read_only) {
+    ++stats.read_only;
+    co_return;
+  }
+  if (result.committed) {
+    ++stats.committed;
+    ++stats.committed_by_dc[dc];
+    EnsureRound(&stats, result.promotions);
+    ++stats.commits_by_round[result.promotions];
+    stats.latency_by_round[result.promotions].Record(result.latency);
+    stats.latency_committed.Record(result.latency);
+    stats.latency_by_dc[dc].Record(result.latency);
+    stats.max_promotions = std::max(stats.max_promotions, result.promotions);
+    if (result.fast_path) ++stats.fast_path_commits;
+  } else if (result.status.IsAborted()) {
+    ++stats.aborted;
+    stats.latency_aborted.Record(result.latency);
+  } else {
+    ++stats.failed;
+  }
+}
+
+sim::Task RunThread(RunContext* ctx, int thread_index, int txns,
+                    uint64_t seed) {
+  sim::Simulator* sim = ctx->cluster->simulator();
+  const RunnerConfig& config = ctx->config;
+
+  const DcId home = config.thread_dcs.empty()
+                        ? config.client_dc
+                        : config.thread_dcs[thread_index %
+                                            config.thread_dcs.size()];
+  txn::TransactionClient* client =
+      ctx->cluster->CreateClient(home, config.client);
+  Generator generator(config.workload, seed);
+
+  co_await sim::SleepFor(sim, config.stagger * thread_index);
+
+  const auto interarrival = static_cast<TimeMicros>(
+      1e6 / std::max(config.target_rate_tps, 1e-9));
+  TimeMicros next_start = sim->Now();
+  for (int i = 0; i < txns; ++i) {
+    if (sim->Now() < next_start) {
+      co_await sim::SleepFor(sim, next_start - sim->Now());
+    }
+    next_start += interarrival;  // open loop: schedule does not drift
+    co_await RunOneTxn(ctx, client, &generator);
+  }
+  ++ctx->threads_done;
+}
+
+}  // namespace
+
+double RunStats::MeanLatencyMs(int round) const {
+  if (round < 0) return latency_committed.Mean() / 1000.0;
+  if (round >= static_cast<int>(latency_by_round.size())) return 0;
+  return latency_by_round[round].Mean() / 1000.0;
+}
+
+RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
+  auto ctx = std::make_unique<RunContext>();
+  ctx->cluster = cluster;
+  ctx->config = config;
+
+  // Pre-load the entity group row into every datacenter (position 0).
+  Generator loader(config.workload, config.seed);
+  Status loaded = cluster->LoadInitialRow(config.workload.group,
+                                          config.workload.row,
+                                          loader.InitialRow());
+  if (!loaded.ok()) {
+    ctx->stats.check.Violation("initial load failed: " + loaded.ToString());
+    return std::move(ctx->stats);
+  }
+
+  Rng seeds(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const int per_thread = config.total_txns / config.num_threads;
+  int remainder = config.total_txns % config.num_threads;
+  cluster->network()->ResetStats();
+  const TimeMicros start = cluster->simulator()->Now();
+
+  for (int t = 0; t < config.num_threads; ++t) {
+    const int txns = per_thread + (t < remainder ? 1 : 0);
+    RunThread(ctx.get(), t, txns, seeds.Next());
+  }
+  cluster->RunToCompletion();
+
+  RunStats& stats = ctx->stats;
+  stats.all_threads_finished = ctx->threads_done == config.num_threads;
+  stats.virtual_duration = cluster->simulator()->Now() - start;
+  stats.messages_sent = cluster->network()->messages_sent();
+  stats.messages_per_attempt =
+      stats.attempted == 0
+          ? 0
+          : static_cast<double>(stats.messages_sent) / stats.attempted;
+
+  if (config.check_invariants) {
+    core::Checker checker(cluster);
+    stats.check = checker.CheckAll(config.workload.group, stats.outcomes);
+    stats.combined_entries = stats.check.combined_entries;
+    stats.combined_txns = stats.check.combined_txns;
+    if (!stats.check.ok) {
+      PAXOSCP_LOG(kError) << "invariant violations:\n"
+                          << stats.check.ToString();
+    }
+  }
+  return std::move(stats);
+}
+
+RunStats RunExperiment(const core::ClusterConfig& cluster_config,
+                       const RunnerConfig& config) {
+  core::Cluster cluster(cluster_config);
+  return RunExperiment(&cluster, config);
+}
+
+}  // namespace paxoscp::workload

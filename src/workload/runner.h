@@ -1,0 +1,91 @@
+// Experiment runner: drives N concurrent client "threads" (simulation
+// tasks) through a transactional YCSB workload against a cluster, exactly
+// as the paper's evaluation does — staggered starts, a per-thread target
+// transaction rate, 500 transactions per experiment — and gathers the
+// metrics every figure reports (commits by promotion round, latency by
+// round, combinations) plus a full invariant check of the resulting logs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "txn/transaction.h"
+#include "workload/generator.h"
+
+namespace paxoscp::workload {
+
+struct RunnerConfig {
+  WorkloadConfig workload;
+  txn::ClientOptions client;
+  /// Total transactions across all threads (paper: 500 per experiment).
+  int total_txns = 500;
+  /// Concurrent client threads (paper: 4, staggered).
+  int num_threads = 4;
+  TimeMicros stagger = 250 * kMillisecond;
+  /// Per-thread target rate (paper: one transaction per second). Arrivals
+  /// are open-loop: a late transaction starts immediately but the schedule
+  /// does not drift.
+  double target_rate_tps = 1.0;
+  /// Home datacenter for all threads...
+  DcId client_dc = 0;
+  /// ...unless per-thread homes are given (Figure 8 runs one YCSB instance
+  /// per datacenter).
+  std::vector<DcId> thread_dcs;
+  uint64_t seed = 7;
+  /// Run the full invariant checker after the workload (on by default; the
+  /// serializability check is part of every experiment in this repo).
+  bool check_invariants = true;
+};
+
+struct RunStats {
+  int attempted = 0;
+  int committed = 0;       // read/write commits (excludes read-only)
+  int read_only = 0;
+  int aborted = 0;
+  int failed = 0;          // protocol could not complete (no quorum)
+  bool all_threads_finished = false;
+
+  /// commits_by_round[r] = transactions that committed after r promotions
+  /// (r = 0 is the first attempt; basic Paxos only ever populates r = 0).
+  std::vector<int> commits_by_round;
+  std::vector<Histogram> latency_by_round;  // committed txns, microseconds
+  Histogram latency_committed;              // all rounds
+  Histogram latency_aborted;
+  int max_promotions = 0;
+  int fast_path_commits = 0;
+
+  /// From the post-run log inspection.
+  int combined_entries = 0;
+  int combined_txns = 0;
+
+  uint64_t messages_sent = 0;
+  double messages_per_attempt = 0;
+  TimeMicros virtual_duration = 0;
+
+  /// Per-datacenter breakdown (Figure 8).
+  std::map<DcId, int> attempted_by_dc;
+  std::map<DcId, int> committed_by_dc;
+  std::map<DcId, Histogram> latency_by_dc;
+
+  std::vector<core::ClientOutcome> outcomes;
+  core::CheckReport check;
+
+  double CommitRate() const {
+    const int rw = attempted - read_only;
+    return rw == 0 ? 0 : static_cast<double>(committed) / rw;
+  }
+  double MeanLatencyMs(int round = -1) const;
+};
+
+/// Runs the workload on an existing cluster. The cluster must be fresh
+/// (this seeds the initial row).
+RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config);
+
+/// Convenience: builds the cluster from `cluster_config` and runs.
+RunStats RunExperiment(const core::ClusterConfig& cluster_config,
+                       const RunnerConfig& config);
+
+}  // namespace paxoscp::workload

@@ -1,0 +1,225 @@
+// Unit tests for the multi-version key-value store — the paper §2.2
+// contract: atomic read/write/checkAndWrite over multi-version rows.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kvstore/store.h"
+
+namespace paxoscp::kvstore {
+namespace {
+
+using AttrMap = std::map<std::string, std::string>;
+
+TEST(StoreTest, ReadMissingKeyIsNotFound) {
+  MultiVersionStore store;
+  EXPECT_TRUE(store.Read("nope").status().IsNotFound());
+  EXPECT_FALSE(store.Contains("nope"));
+}
+
+TEST(StoreTest, WriteThenReadLatest) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}).ok());
+  Result<RowVersion> row = store.Read("k");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->attributes.at("a"), "1");
+  EXPECT_EQ(row->timestamp, 1);
+}
+
+TEST(StoreTest, AutoTimestampsIncrease) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}).ok());
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "2"}}).ok());
+  Result<RowVersion> row = store.Read("k");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->timestamp, 2);
+  EXPECT_EQ(row->attributes.at("a"), "2");
+  EXPECT_EQ(store.VersionCount("k"), 2u);
+}
+
+TEST(StoreTest, SnapshotReadsSeeOlderVersions) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v10"}}, 10).ok());
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v20"}}, 20).ok());
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v30"}}, 30).ok());
+
+  EXPECT_TRUE(store.Read("k", 5).status().IsNotFound());
+  EXPECT_EQ(store.Read("k", 10)->attributes.at("a"), "v10");
+  EXPECT_EQ(store.Read("k", 15)->attributes.at("a"), "v10");
+  EXPECT_EQ(store.Read("k", 20)->attributes.at("a"), "v20");
+  EXPECT_EQ(store.Read("k", 29)->attributes.at("a"), "v20");
+  EXPECT_EQ(store.Read("k", 1000)->attributes.at("a"), "v30");
+  EXPECT_EQ(store.Read("k")->attributes.at("a"), "v30");
+}
+
+TEST(StoreTest, WriteBelowExistingTimestampIsConflict) {
+  // Paper: "If a version with greater timestamp exists, an error is
+  // returned."
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}, 10).ok());
+  EXPECT_TRUE(store.Write("k", AttrMap{{"a", "0"}}, 5).IsConflict());
+  EXPECT_TRUE(store.Write("k", AttrMap{{"a", "0"}}, 10).IsConflict());
+  EXPECT_TRUE(store.Write("k", AttrMap{{"a", "2"}}, 11).ok());
+}
+
+TEST(StoreTest, ReadAttrFindsAttribute) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}, {"b", "2"}}).ok());
+  EXPECT_EQ(*store.ReadAttr("k", "b"), "2");
+  EXPECT_TRUE(store.ReadAttr("k", "c").status().IsNotFound());
+  EXPECT_TRUE(store.ReadAttr("zzz", "a").status().IsNotFound());
+}
+
+TEST(StoreTest, CheckAndWriteSucceedsOnMatch) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"bal", "7"}}).ok());
+  EXPECT_TRUE(store.CheckAndWrite("k", "bal", "7",
+                                  AttrMap{{"bal", "8"}}).ok());
+  EXPECT_EQ(*store.ReadAttr("k", "bal"), "8");
+}
+
+TEST(StoreTest, CheckAndWriteFailsOnMismatch) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"bal", "7"}}).ok());
+  EXPECT_TRUE(store.CheckAndWrite("k", "bal", "6", AttrMap{{"bal", "8"}})
+                  .IsConflict());
+  EXPECT_EQ(*store.ReadAttr("k", "bal"), "7");
+  EXPECT_EQ(store.VersionCount("k"), 1u);
+}
+
+TEST(StoreTest, CheckAndWriteMissingRowComparesToEmpty) {
+  // Initializing writes use test_value = "" (used by the leader grant and
+  // Paxos state rows).
+  MultiVersionStore store;
+  EXPECT_TRUE(store.CheckAndWrite("new", "flag", "",
+                                  AttrMap{{"flag", "1"}}).ok());
+  EXPECT_TRUE(store.CheckAndWrite("new", "flag", "",
+                                  AttrMap{{"flag", "2"}}).IsConflict());
+  EXPECT_EQ(*store.ReadAttr("new", "flag"), "1");
+}
+
+TEST(StoreTest, CheckAndWriteMissingAttributeComparesToEmpty) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"other", "x"}}).ok());
+  EXPECT_TRUE(store.CheckAndWrite("k", "flag", "",
+                                  AttrMap{{"flag", "1"}}).ok());
+}
+
+TEST(StoreTest, CheckAndWriteChecksLatestVersionOnly) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "old"}}, 1).ok());
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "new"}}, 2).ok());
+  EXPECT_TRUE(
+      store.CheckAndWrite("k", "a", "old", AttrMap{{"a", "x"}}).IsConflict());
+  EXPECT_TRUE(store.CheckAndWrite("k", "a", "new", AttrMap{{"a", "x"}}).ok());
+}
+
+TEST(StoreTest, MergeWritePreservesUntouchedAttributes) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}, {"b", "2"}}, 1).ok());
+  ASSERT_TRUE(store.MergeWrite("k", AttrMap{{"a", "9"}}, 5).ok());
+  Result<RowVersion> row = store.Read("k");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->attributes.at("a"), "9");
+  EXPECT_EQ(row->attributes.at("b"), "2");
+  EXPECT_EQ(row->timestamp, 5);
+}
+
+TEST(StoreTest, MergeWriteIsIdempotentViaConflict) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.MergeWrite("k", AttrMap{{"a", "1"}}, 5).ok());
+  EXPECT_TRUE(store.MergeWrite("k", AttrMap{{"a", "1"}}, 5).IsConflict());
+  EXPECT_TRUE(store.MergeWrite("k", AttrMap{{"a", "0"}}, 3).IsConflict());
+  EXPECT_EQ(store.VersionCount("k"), 1u);
+}
+
+TEST(StoreTest, TruncateKeepsSnapshotAtWatermark) {
+  MultiVersionStore store;
+  for (Timestamp ts = 1; ts <= 10; ++ts) {
+    ASSERT_TRUE(
+        store.Write("k", AttrMap{{"a", std::to_string(ts)}}, ts).ok());
+  }
+  const size_t removed = store.TruncateVersions("k", 7);
+  EXPECT_EQ(removed, 6u);  // versions 1..6 go; 7 stays readable
+  EXPECT_EQ(*store.ReadAttr("k", "a", 7), "7");
+  EXPECT_EQ(*store.ReadAttr("k", "a", 8), "8");
+  EXPECT_TRUE(store.Read("k", 6).status().IsNotFound());
+}
+
+TEST(StoreTest, TruncateAllCoversEveryKey) {
+  MultiVersionStore store;
+  for (int k = 0; k < 3; ++k) {
+    for (Timestamp ts = 1; ts <= 5; ++ts) {
+      ASSERT_TRUE(store
+                      .Write("k" + std::to_string(k),
+                             AttrMap{{"a", std::to_string(ts)}}, ts)
+                      .ok());
+    }
+  }
+  EXPECT_EQ(store.TruncateAllVersions(5), 12u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(store.VersionCount("k" + std::to_string(k)), 1u);
+  }
+}
+
+TEST(StoreTest, KeysWithPrefix) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("!log/g/000001", AttrMap{{"e", "x"}}).ok());
+  ASSERT_TRUE(store.Write("!log/g/000002", AttrMap{{"e", "y"}}).ok());
+  ASSERT_TRUE(store.Write("!log/h/000001", AttrMap{{"e", "z"}}).ok());
+  ASSERT_TRUE(store.Write("d/g/row", AttrMap{{"a", "1"}}).ok());
+  const auto keys = store.KeysWithPrefix("!log/g/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "!log/g/000001");
+  EXPECT_EQ(keys[1], "!log/g/000002");
+  EXPECT_EQ(store.KeyCount(), 4u);
+}
+
+TEST(StoreTest, ConcurrentCheckAndWriteGrantsExactlyOne) {
+  // The store must be independently thread-safe (it is the substrate the
+  // "stateless service processes" share). N threads race a leader claim;
+  // exactly one may win.
+  MultiVersionStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> wins{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&store, &wins, i] {
+      if (store
+              .CheckAndWrite("claim", "owner", "",
+                             AttrMap{{"owner", std::to_string(i)}})
+              .ok()) {
+        wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), 1);
+}
+
+TEST(StoreTest, ConcurrentWritersKeepVersionOrder) {
+  MultiVersionStore store;
+  constexpr int kThreads = 4;
+  constexpr int kWritesEach = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kWritesEach; ++i) {
+        (void)store.Write("k", AttrMap{{"a", "x"}});  // auto timestamps
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.VersionCount("k"), size_t{kThreads * kWritesEach});
+  // Timestamps must be strictly increasing.
+  Timestamp prev = 0;
+  for (Timestamp ts = 1; ts <= kThreads * kWritesEach; ++ts) {
+    Result<RowVersion> row = store.Read("k", ts);
+    ASSERT_TRUE(row.ok());
+    EXPECT_GT(row->timestamp, prev);
+    prev = row->timestamp;
+  }
+}
+
+}  // namespace
+}  // namespace paxoscp::kvstore

@@ -1,0 +1,239 @@
+// Unit tests for the simulated network: latency, timeouts, loss, outages,
+// broadcast policies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/coro.h"
+
+namespace paxoscp::net {
+namespace {
+
+constexpr TimeMicros kRtt = 10 * kMillisecond;
+
+/// Echo service: replies with "<dc>:<payload>" after an optional delay.
+ServiceHandler EchoHandler(sim::Simulator* sim, DcId dc,
+                           TimeMicros service_time = 0) {
+  return [sim, dc, service_time](DcId /*from*/,
+                                 const std::any* request) -> sim::Coro<std::any> {
+    if (service_time > 0) co_await sim::SleepFor(sim, service_time);
+    co_return std::any(std::to_string(dc) + ":" +
+                       std::any_cast<std::string>(*request));
+  };
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void Build(int dcs, NetworkOptions options = {}) {
+    options.latency_jitter = 0;  // exact timing assertions
+    std::vector<std::vector<TimeMicros>> rtt(
+        dcs, std::vector<TimeMicros>(dcs, kRtt));
+    for (int i = 0; i < dcs; ++i) rtt[i][i] = 1000;
+    network_ = std::make_unique<Network>(&sim_, rtt, options);
+    for (DcId dc = 0; dc < dcs; ++dc) {
+      network_->RegisterEndpoint(dc, EchoHandler(&sim_, dc));
+    }
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Network> network_;
+};
+
+TEST_F(NetworkTest, CallDeliversResponse) {
+  Build(2);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("ping")))
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(std::any_cast<std::string>(result->response), "1:ping");
+}
+
+TEST_F(NetworkTest, CallTakesOneRoundTrip) {
+  Build(2);
+  TimeMicros completed_at = -1;
+  network_->Call(0, 1, std::any(std::string("x")))
+      .OnReady([&](CallResult&&) { completed_at = sim_.Now(); });
+  sim_.RunUntil(kRtt + kMillisecond);
+  EXPECT_GE(completed_at, kRtt);            // one full round trip
+  EXPECT_LE(completed_at, kRtt + 2);        // plus delivery events
+}
+
+TEST_F(NetworkTest, IntraDatacenterCallIsFast) {
+  Build(2);
+  TimeMicros completed_at = -1;
+  network_->Call(0, 0, std::any(std::string("x")))
+      .OnReady([&](CallResult&&) { completed_at = sim_.Now(); });
+  sim_.RunUntil(5 * kMillisecond);
+  EXPECT_GE(completed_at, 0);
+  EXPECT_LE(completed_at, 2 * kMillisecond);
+}
+
+TEST_F(NetworkTest, TimeoutFiresWhenDestinationDown) {
+  Build(2);
+  network_->SetDatacenterDown(1, true);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.IsTimedOut());
+}
+
+TEST_F(NetworkTest, OutageMidFlightDropsDelivery) {
+  Build(2);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  // Take the destination down after the message left but before arrival.
+  sim_.ScheduleAfter(kRtt / 4, [&] { network_->SetDatacenterDown(1, true); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.IsTimedOut());
+}
+
+TEST_F(NetworkTest, LinkDownBlocksOnlyThatPair) {
+  Build(3);
+  network_->SetLinkDown(0, 1, true);
+  std::optional<CallResult> blocked, open;
+  network_->Call(0, 1, std::any(std::string("x")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { blocked = std::move(r); });
+  network_->Call(0, 2, std::any(std::string("x")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { open = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(blocked->status.IsTimedOut());
+  EXPECT_TRUE(open->status.ok());
+}
+
+TEST_F(NetworkTest, TotalLossTimesOutEveryCall) {
+  NetworkOptions options;
+  options.loss_probability = 1.0;
+  Build(2, options);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 20 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(result->status.IsTimedOut());
+  EXPECT_GT(network_->messages_dropped(), 0u);
+}
+
+TEST_F(NetworkTest, BroadcastCollectsAllTargets) {
+  Build(3);
+  std::optional<BroadcastResult> result;
+  BroadcastOptions options;
+  network_->Broadcast(0, {0, 1, 2}, std::any(std::string("hi")), options)
+      .OnReady([&](BroadcastResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*result)[i].dc, i);
+    ASSERT_TRUE((*result)[i].status.ok());
+    EXPECT_EQ(std::any_cast<std::string>((*result)[i].response),
+              std::to_string(i) + ":hi");
+  }
+}
+
+TEST_F(NetworkTest, BroadcastWithDownTargetMarksItTimedOut) {
+  Build(3);
+  network_->SetDatacenterDown(2, true);
+  std::optional<BroadcastResult> result;
+  BroadcastOptions options;
+  options.timeout = 30 * kMillisecond;
+  network_->Broadcast(0, {0, 1, 2}, std::any(std::string("hi")), options)
+      .OnReady([&](BroadcastResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[0].status.ok());
+  EXPECT_TRUE((*result)[1].status.ok());
+  EXPECT_TRUE((*result)[2].status.IsTimedOut());
+}
+
+TEST_F(NetworkTest, QuorumEarlyPolicyReturnsBeforeStragglers) {
+  Build(3);
+  // DC 2 is slow: re-register with a long service time.
+  network_->RegisterEndpoint(2, EchoHandler(&sim_, 2, 500 * kMillisecond));
+  std::optional<BroadcastResult> result;
+  TimeMicros completed_at = -1;
+  BroadcastOptions options;
+  options.policy = WaitPolicy::kQuorumEarly;
+  options.quorum = 2;
+  options.timeout = 2 * kSecond;
+  network_->Broadcast(0, {0, 1, 2}, std::any(std::string("hi")), options)
+      .OnReady([&](BroadcastResult&& r) {
+        result = std::move(r);
+        completed_at = sim_.Now();
+      });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(completed_at, 100 * kMillisecond);  // did not wait for DC 2
+  int ok = 0;
+  for (const TargetResult& t : *result) ok += t.status.ok() ? 1 : 0;
+  EXPECT_EQ(ok, 2);
+}
+
+TEST_F(NetworkTest, EmptyBroadcastResolvesImmediately) {
+  Build(2);
+  std::optional<BroadcastResult> result;
+  network_->Broadcast(0, {}, std::any(std::string("hi")), {})
+      .OnReady([&](BroadcastResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(NetworkTest, MessageStatsCount) {
+  Build(2);
+  network_->Call(0, 1, std::any(std::string("x")));
+  sim_.Run();
+  EXPECT_EQ(network_->messages_sent(), 2u);  // request + response
+  EXPECT_EQ(network_->calls_started(), 1u);
+  network_->ResetStats();
+  EXPECT_EQ(network_->messages_sent(), 0u);
+}
+
+TEST_F(NetworkTest, JitterStaysWithinBounds) {
+  NetworkOptions options;
+  options.latency_jitter = 0.1;
+  options.seed = 9;
+  std::vector<std::vector<TimeMicros>> rtt(2,
+                                           std::vector<TimeMicros>(2, kRtt));
+  Network network(&sim_, rtt, options);
+  network.RegisterEndpoint(1, EchoHandler(&sim_, 1));
+  for (int i = 0; i < 20; ++i) {
+    TimeMicros start = sim_.Now();
+    std::optional<CallResult> result;
+    TimeMicros completed_at = -1;
+    network.Call(0, 1, std::any(std::string("x")))
+        .OnReady([&](CallResult&& r) {
+          result = std::move(r);
+          completed_at = sim_.Now();
+        });
+    sim_.Run();  // drains the response and the (losing) timeout event
+    ASSERT_TRUE(result->status.ok());
+    const TimeMicros elapsed = completed_at - start;
+    EXPECT_GE(elapsed, static_cast<TimeMicros>(kRtt * 0.9) - 2);
+    EXPECT_LE(elapsed, static_cast<TimeMicros>(kRtt * 1.1) + 2);
+  }
+}
+
+TEST_F(NetworkTest, RecoveredDatacenterServesAgain) {
+  Build(2);
+  network_->SetDatacenterDown(1, true);
+  std::optional<CallResult> first, second;
+  network_->Call(0, 1, std::any(std::string("a")), 20 * kMillisecond)
+      .OnReady([&](CallResult&& r) { first = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(first->status.IsTimedOut());
+
+  network_->SetDatacenterDown(1, false);
+  network_->Call(0, 1, std::any(std::string("b")), 20 * kMillisecond)
+      .OnReady([&](CallResult&& r) { second = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(second->status.ok());
+}
+
+}  // namespace
+}  // namespace paxoscp::net

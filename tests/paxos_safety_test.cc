@@ -1,0 +1,210 @@
+// Adversarial Paxos safety tests: drive acceptors directly (no network)
+// through hostile proposer interleavings and verify the one decided value
+// per position is never contradicted — including the mixed-ballot corner
+// where the paper's promotion trigger would misfire (DESIGN.md §8.1).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "kvstore/store.h"
+#include "paxos/acceptor.h"
+#include "paxos/value_selection.h"
+#include "wal/log.h"
+
+namespace paxoscp::paxos {
+namespace {
+
+constexpr int kD = 3;
+
+struct Replicas {
+  Replicas() {
+    for (int i = 0; i < kD; ++i) {
+      stores.push_back(std::make_unique<kvstore::MultiVersionStore>());
+      logs.push_back(
+          std::make_unique<wal::WriteAheadLog>(stores.back().get(), "g"));
+      acceptors.push_back(
+          std::make_unique<Acceptor>(stores.back().get(), logs.back().get()));
+    }
+  }
+
+  /// Prepares at a subset of acceptors; returns the votes collected.
+  std::vector<LastVote> Prepare(const Ballot& b,
+                                std::vector<int> quorum) {
+    std::vector<LastVote> votes;
+    for (int i : quorum) {
+      PrepareResult r = acceptors[i]->OnPrepare(1, b);
+      if (r.promised) {
+        votes.push_back(LastVote{i, r.vote_ballot, r.vote_value});
+      }
+    }
+    return votes;
+  }
+
+  int Accept(const Ballot& b, const wal::LogEntry& v,
+             std::vector<int> quorum) {
+    int accepted = 0;
+    for (int i : quorum) {
+      if (acceptors[i]->OnAccept(1, b, v).accepted) ++accepted;
+    }
+    return accepted;
+  }
+
+  std::vector<std::unique_ptr<kvstore::MultiVersionStore>> stores;
+  std::vector<std::unique_ptr<wal::WriteAheadLog>> logs;
+  std::vector<std::unique_ptr<Acceptor>> acceptors;
+};
+
+wal::LogEntry Value(TxnId id) {
+  wal::LogEntry e;
+  e.winner_dc = TxnIdDc(id);
+  wal::TxnRecord t;
+  t.id = id;
+  t.writes.push_back({{"r", "w" + TxnIdToString(id)}, "v"});
+  e.txns.push_back(t);
+  return e;
+}
+
+TEST(PaxosSafetyTest, LaterProposerMustAdoptChosenValue) {
+  Replicas r;
+  const wal::LogEntry chosen = Value(MakeTxnId(0, 1));
+  // Proposer A: ballot 1, full quorum, value chosen at {0,1}.
+  ASSERT_EQ(r.Prepare(Ballot{1, 0}, {0, 1, 2}).size(), 3u);
+  ASSERT_EQ(r.Accept(Ballot{1, 0}, chosen, {0, 1}), 2);  // majority
+
+  // Proposer B: higher ballot, any majority quorum must discover `chosen`.
+  for (std::vector<int> quorum : {std::vector<int>{0, 1},
+                                  std::vector<int>{1, 2},
+                                  std::vector<int>{0, 2}}) {
+    Replicas fresh;  // re-stage per quorum to keep state identical
+    ASSERT_EQ(fresh.Prepare(Ballot{1, 0}, {0, 1, 2}).size(), 3u);
+    ASSERT_EQ(fresh.Accept(Ballot{1, 0}, chosen, {0, 1}), 2);
+    std::vector<LastVote> votes = fresh.Prepare(Ballot{2, 1}, quorum);
+    std::optional<wal::LogEntry> adopted = FindWinningValue(votes);
+    if (quorum == std::vector<int>{1, 2} ||
+        quorum == std::vector<int>{0, 1} ||
+        quorum == std::vector<int>{0, 2}) {
+      // Every majority intersects the accept-majority {0,1}.
+      ASSERT_TRUE(adopted.has_value());
+      EXPECT_EQ(adopted->Fingerprint(), chosen.Fingerprint());
+    }
+  }
+}
+
+TEST(PaxosSafetyTest, StaleAcceptsRejectedAfterNewPromise) {
+  Replicas r;
+  const wal::LogEntry v1 = Value(MakeTxnId(0, 1));
+  // A prepares ballot 1 everywhere but is slow to send accepts.
+  ASSERT_EQ(r.Prepare(Ballot{1, 0}, {0, 1, 2}).size(), 3u);
+  // B races past with ballot 2.
+  ASSERT_EQ(r.Prepare(Ballot{2, 1}, {0, 1, 2}).size(), 3u);
+  // A's stale accepts must be rejected by every acceptor.
+  EXPECT_EQ(r.Accept(Ballot{1, 0}, v1, {0, 1, 2}), 0);
+}
+
+TEST(PaxosSafetyTest, MixedBallotVotesDoNotImplyDecision) {
+  // Construct the adversarial state from DESIGN.md §8.1: value v holds a
+  // per-value "majority" of last votes across different ballots, yet a
+  // later proposer with quorum {acceptor0, acceptor2} legally decides w.
+  Replicas r;
+  const wal::LogEntry v = Value(MakeTxnId(0, 1));
+  const wal::LogEntry w = Value(MakeTxnId(1, 1));
+
+  // P1 (ballot 1) reaches only acceptor 0 with v.
+  ASSERT_EQ(r.Prepare(Ballot{1, 0}, {0, 1, 2}).size(), 3u);
+  ASSERT_EQ(r.Accept(Ballot{1, 0}, v, {0}), 1);
+  // P2 (ballot 2) prepared at {1,2} before seeing any vote; proposes w but
+  // only acceptor 2 records it.
+  ASSERT_EQ(r.Prepare(Ballot{2, 1}, {1, 2}).size(), 2u);
+  ASSERT_EQ(r.Accept(Ballot{2, 1}, w, {2}), 1);
+  // P3 (ballot 3) prepares at {0,1}: max vote is v@1 -> must propose v;
+  // acceptor 1 votes v@3.
+  std::vector<LastVote> p3_votes = r.Prepare(Ballot{3, 2}, {0, 1});
+  std::optional<wal::LogEntry> p3_value = FindWinningValue(p3_votes);
+  ASSERT_TRUE(p3_value.has_value());
+  ASSERT_EQ(p3_value->Fingerprint(), v.Fingerprint());
+  ASSERT_EQ(r.Accept(Ballot{3, 2}, *p3_value, {1}), 1);
+
+  // Last votes now: acc0 = v@1, acc1 = v@3, acc2 = w@2. Per-value counting
+  // gives v a 2/3 "majority" across mixed ballots — the paper's promotion
+  // trigger would declare v the winner.
+  std::vector<LastVote> all_votes = {
+      {0, Ballot{1, 0}, v}, {1, Ballot{3, 2}, v}, {2, Ballot{2, 1}, w}};
+  SelectionDecision d =
+      EnhancedFindWinningValue(all_votes, 3, 3, Value(MakeTxnId(2, 9)), {});
+  EXPECT_NE(d.kind, SelectionKind::kLost)
+      << "mixed-ballot votes must not be treated as a decision";
+
+  // And indeed w can still win: P4 (ballot 4) with quorum {0, 2} adopts the
+  // max-ballot vote... which is v@1 vs w@2 -> w! It decides w at majority.
+  std::vector<LastVote> p4_votes = r.Prepare(Ballot{4, 0}, {0, 2});
+  std::optional<wal::LogEntry> p4_value = FindWinningValue(p4_votes);
+  ASSERT_TRUE(p4_value.has_value());
+  EXPECT_EQ(p4_value->Fingerprint(), w.Fingerprint());
+  EXPECT_EQ(r.Accept(Ballot{4, 0}, *p4_value, {0, 2}), 2);  // w chosen!
+}
+
+TEST(PaxosSafetyTest, FastPathAndRegularProposerCannotBothWin) {
+  Replicas r;
+  const wal::LogEntry fast = Value(MakeTxnId(0, 1));
+  const wal::LogEntry slow = Value(MakeTxnId(1, 1));
+
+  // Fast-path client lands ballot-0 accepts on a minority only.
+  ASSERT_EQ(r.Accept(Ballot{0, 0}, fast, {0}), 1);
+  // Regular proposer prepares a majority {1,2} (sees no votes), proposes
+  // its own value, and wins.
+  std::vector<LastVote> votes = r.Prepare(Ballot{1, 1}, {1, 2});
+  EXPECT_FALSE(FindWinningValue(votes).has_value());
+  ASSERT_EQ(r.Accept(Ballot{1, 1}, slow, {1, 2}), 2);  // slow chosen
+
+  // The fast client's remaining accepts must now be rejected.
+  EXPECT_EQ(r.Accept(Ballot{0, 0}, fast, {1, 2}), 0);
+
+  // Any later proposer adopts `slow`.
+  std::vector<LastVote> later = r.Prepare(Ballot{5, 2}, {0, 1, 2});
+  std::optional<wal::LogEntry> adopted = FindWinningValue(later);
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(adopted->Fingerprint(), slow.Fingerprint());
+}
+
+TEST(PaxosSafetyTest, DuelingProposersConvergeToOneValue) {
+  // Two proposers alternate with increasing ballots; whoever first lands a
+  // majority accept fixes the value forever after.
+  Replicas r;
+  const wal::LogEntry a = Value(MakeTxnId(0, 1));
+  const wal::LogEntry b = Value(MakeTxnId(1, 1));
+
+  ASSERT_EQ(r.Prepare(Ballot{1, 0}, {0, 1}).size(), 2u);
+  ASSERT_EQ(r.Prepare(Ballot{2, 1}, {1, 2}).size(), 2u);
+  // A's accept at ballot 1: acceptor 1 already promised 2 -> only 0 votes.
+  EXPECT_EQ(r.Accept(Ballot{1, 0}, a, {0, 1}), 1);
+  // B's accept at ballot 2 reaches {1,2}: majority, b chosen.
+  EXPECT_EQ(r.Accept(Ballot{2, 1}, b, {1, 2}), 2);
+
+  // A retries with ballot 3 over {0,1}: must adopt b (max ballot vote).
+  std::vector<LastVote> votes = r.Prepare(Ballot{3, 0}, {0, 1});
+  std::optional<wal::LogEntry> adopted = FindWinningValue(votes);
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(adopted->Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(r.Accept(Ballot{3, 0}, *adopted, {0, 1}), 2);
+
+  // Both "chosen" events carry the same value b — no contradiction.
+}
+
+TEST(PaxosSafetyTest, ApplyPropagatesSingleDecisionToAllLogs) {
+  Replicas r;
+  const wal::LogEntry chosen = Value(MakeTxnId(0, 1));
+  ASSERT_EQ(r.Prepare(Ballot{1, 0}, {0, 1, 2}).size(), 3u);
+  ASSERT_EQ(r.Accept(Ballot{1, 0}, chosen, {0, 1, 2}), 3);
+  for (int i = 0; i < kD; ++i) {
+    ASSERT_TRUE(r.acceptors[i]->OnApply(1, Ballot{1, 0}, chosen).ok());
+  }
+  for (int i = 0; i < kD; ++i) {
+    Result<wal::LogEntry> entry = r.logs[i]->GetEntry(1);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry->Fingerprint(), chosen.Fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace paxoscp::paxos

