@@ -1,4 +1,5 @@
-// Ablation of the design choices DESIGN.md calls out (not in the paper):
+// Ablation of the design choices docs/ARCHITECTURE.md note D4 calls out
+// (not in the paper):
 //   * leader fast path on/off — the §4.1 optimization that skips the
 //     prepare phase for the first claimant;
 //   * combination on/off — CP with promotion only;

@@ -93,7 +93,8 @@ SelectionDecision EnhancedFindWinningValue(const std::vector<LastVote>& votes,
   // at different ballots can still lose to a competing adoption), so we
   // promote on the sound same-ballot condition and otherwise fall through
   // to the basic rule, which drives the instance to its decided outcome —
-  // after which the client promotes with certainty (see DESIGN.md §5).
+  // after which the client promotes with certainty (see
+  // docs/ARCHITECTURE.md, note D1).
   std::map<uint64_t, int> tally;
   std::map<uint64_t, const wal::LogEntry*> values;
   std::map<std::pair<int64_t, uint64_t>, int> ballot_tally;

@@ -35,7 +35,7 @@ enum class SelectionKind {
   /// it at a single ballot) and our transaction is not in it; `value` holds
   /// the winning value so the caller can run the promotion conflict check
   /// (paper §5, "Promotion"). Note: this is a sound refinement of the
-  /// paper's `maxVotes > D/2` trigger — see DESIGN.md.
+  /// paper's `maxVotes > D/2` trigger — see docs/ARCHITECTURE.md, note D1.
   kLost,
 };
 

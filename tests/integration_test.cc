@@ -321,7 +321,8 @@ TEST(IntegrationTest, BootstrapLeaderRaceIsSafe) {
   // of a fresh log at the same instant. Both ask for the leader fast path;
   // the grant must be unique cluster-wide (canonical bootstrap leader), or
   // two distinct round-0 ballots could decide conflicting values — the R1
-  // checker caught exactly this during development (DESIGN.md §8.5).
+  // checker caught exactly this during development (docs/ARCHITECTURE.md,
+  // note D3).
   for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     Cluster cluster(TestConfig("VVV", seed));
     ASSERT_TRUE(

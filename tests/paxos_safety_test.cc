@@ -1,7 +1,8 @@
 // Adversarial Paxos safety tests: drive acceptors directly (no network)
 // through hostile proposer interleavings and verify the one decided value
 // per position is never contradicted — including the mixed-ballot corner
-// where the paper's promotion trigger would misfire (DESIGN.md §8.1).
+// where the paper's promotion trigger would misfire (docs/ARCHITECTURE.md,
+// note D2).
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -103,7 +104,8 @@ TEST(PaxosSafetyTest, StaleAcceptsRejectedAfterNewPromise) {
 }
 
 TEST(PaxosSafetyTest, MixedBallotVotesDoNotImplyDecision) {
-  // Construct the adversarial state from DESIGN.md §8.1: value v holds a
+  // Construct the adversarial state from docs/ARCHITECTURE.md note D2:
+  // value v holds a
   // per-value "majority" of last votes across different ballots, yet a
   // later proposer with quorum {acceptor0, acceptor2} legally decides w.
   Replicas r;

@@ -355,7 +355,8 @@ TEST(EnhancedSelectionTest, OwnInsideMajorityValueIsNotLost) {
 
 TEST(EnhancedSelectionTest, MixedBallotMajorityIsNotTreatedAsDecided) {
   // Three votes for the same value at *different* ballots do not prove the
-  // value was chosen (see DESIGN.md on the soundness refinement): the
+  // value was chosen (docs/ARCHITECTURE.md note D1, the soundness
+  // refinement): the
   // selection must fall back to the basic rule rather than reporting kLost.
   const wal::LogEntry own = EntryFor(MakeTxnId(0, 1));
   const wal::LogEntry leading = EntryFor(MakeTxnId(1, 1));
