@@ -9,19 +9,21 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "ablation_knobs");
   workload::PrintExperimentHeader(
       "Ablation - leader fast path / combination / promotion cap "
       "(VVV, 100 attrs, 500 txns)",
       "repo-specific ablation; not a paper figure");
 
   std::vector<std::vector<std::string>> rows;
-  auto run = [&rows](const std::string& label, txn::ClientOptions options) {
+  auto run = [&rows, &perf](const std::string& label,
+                            txn::ClientOptions options) {
     workload::RunnerConfig config =
         bench::PaperWorkload(options.protocol);
     config.client = options;
     workload::RunStats stats =
-        workload::RunExperiment(bench::PaperCluster("VVV"), config);
+        perf.Run(label, bench::PaperCluster("VVV"), config);
     rows.push_back(bench::ResultRow(label, options.protocol, stats));
   };
 

@@ -6,7 +6,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "ablation_loss");
   workload::PrintExperimentHeader(
       "Ablation - message loss rate (VVV, 100 attrs, 500 txns)",
       "repo-specific ablation; loss adds timeout stalls, never "
@@ -19,7 +20,10 @@ int main() {
       workload::RunnerConfig config = bench::PaperWorkload(protocol);
       core::ClusterConfig cluster = bench::PaperCluster("VVV");
       cluster.loss_probability = loss;
-      workload::RunStats stats = workload::RunExperiment(cluster, config);
+      workload::RunStats stats = perf.Run(
+          workload::FormatDouble(loss * 100, 0) + "pct/" +
+              txn::ProtocolName(protocol),
+          cluster, config);
       rows.push_back(bench::ResultRow(
           workload::FormatDouble(loss * 100, 0) + "% loss", protocol, stats));
     }

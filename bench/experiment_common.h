@@ -1,11 +1,15 @@
 // Shared harness for the figure-reproduction benches: the paper's standard
 // workload (§6) — 500 transactions, 10 ops each, 50/50 read-write over a
 // single row, 4 concurrent staggered threads at 1 txn/s each — plus row
-// formatting used by every fig*/table* binary.
+// formatting used by every fig*/table* binary and the `--json <path>`
+// perf-snapshot reporter (schema documented in EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -14,6 +18,114 @@
 #include "workload/runner.h"
 
 namespace paxoscp::bench {
+
+// ------------------------------------------------------- perf snapshots
+
+/// Accumulates name → (ns/op, items/s) entries and writes the repo's
+/// perf-trajectory JSON snapshot ("paxoscp-perf-v1"; see EXPERIMENTS.md).
+class PerfJsonWriter {
+ public:
+  explicit PerfJsonWriter(std::string binary) : binary_(std::move(binary)) {}
+
+  void Add(const std::string& name, double ns_per_op, double items_per_s) {
+    entries_.push_back(Entry{name, ns_per_op, items_per_s});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"schema\": \"paxoscp-perf-v1\",\n");
+    std::fprintf(f, "  \"binary\": \"%s\",\n", Escaped(binary_).c_str());
+    std::fprintf(f, "  \"benchmarks\": {\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"ns_per_op\": %.2f, \"items_per_s\": %.2f}%s\n",
+                   Escaped(e.name).c_str(), e.ns_per_op, e.items_per_s,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+    double items_per_s;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop controls
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string binary_;
+  std::vector<Entry> entries_;
+};
+
+/// Extracts `--json <path>` (or `--json=<path>`) from argv, removing the
+/// consumed arguments so later flag parsers never see them. Returns "" when
+/// the flag is absent.
+inline std::string TakeJsonPathArg(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Wall-clock wrapper around workload::RunExperiment for the fig benches:
+/// each labelled run is recorded as "<label>" → ns per attempted txn and
+/// attempted txns per wall-second. On destruction the snapshot is written
+/// to the `--json` path (no-op when the flag was absent).
+class PerfReporter {
+ public:
+  PerfReporter(int* argc, char** argv, std::string binary)
+      : json_path_(TakeJsonPathArg(argc, argv)),
+        writer_(std::move(binary)) {}
+
+  ~PerfReporter() {
+    if (json_path_.empty()) return;
+    if (writer_.WriteTo(json_path_)) {
+      std::printf("perf snapshot written to %s\n", json_path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path_.c_str());
+    }
+  }
+
+  workload::RunStats Run(const std::string& label,
+                         const core::ClusterConfig& cluster,
+                         const workload::RunnerConfig& config) {
+    const auto start = std::chrono::steady_clock::now();
+    workload::RunStats stats = workload::RunExperiment(cluster, config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double txns = stats.attempted > 0 ? stats.attempted : 1;
+    writer_.Add(label, seconds * 1e9 / txns, txns / seconds);
+    return stats;
+  }
+
+ private:
+  std::string json_path_;
+  PerfJsonWriter writer_;
+};
 
 /// The paper's standard experiment configuration.
 inline workload::RunnerConfig PaperWorkload(txn::Protocol protocol,

@@ -11,7 +11,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig4_replicas");
   workload::PrintExperimentHeader(
       "Figure 4 - commits and latency vs number of replicas (500 txns)",
       "basic ~284-292/500 flat; CP ~434-445/500 flat; latency grows mildly "
@@ -23,7 +24,8 @@ int main() {
          {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
       workload::RunnerConfig config = bench::PaperWorkload(protocol);
       workload::RunStats stats =
-          workload::RunExperiment(bench::PaperCluster(code), config);
+          perf.Run(code + "/" + txn::ProtocolName(protocol),
+                   bench::PaperCluster(code), config);
       rows.push_back(bench::ResultRow(
           std::to_string(code.size()) + " (" + code + ")", protocol, stats));
     }
@@ -37,7 +39,7 @@ int main() {
     workload::RunnerConfig config =
         bench::PaperWorkload(txn::Protocol::kPaxosCP);
     workload::RunStats stats =
-        workload::RunExperiment(bench::PaperCluster(code), config);
+        perf.Run(code + "/cp-latency", bench::PaperCluster(code), config);
     latency_rows.push_back(
         {code, workload::LatencyByRound(stats, 6),
          workload::CommitsByRound(stats)});

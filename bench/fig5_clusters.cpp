@@ -11,7 +11,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig5_clusters");
   workload::PrintExperimentHeader(
       "Figure 5 - commits and latency by datacenter combination (500 txns)",
       "V-only clusters much faster; CP improvement roughly constant across "
@@ -24,7 +25,8 @@ int main() {
          {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
       workload::RunnerConfig config = bench::PaperWorkload(protocol);
       workload::RunStats stats =
-          workload::RunExperiment(bench::PaperCluster(code), config);
+          perf.Run(code + "/" + txn::ProtocolName(protocol),
+                   bench::PaperCluster(code), config);
       rows.push_back(bench::ResultRow(code, protocol, stats));
     }
   }

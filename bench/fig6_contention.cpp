@@ -11,7 +11,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig6_contention");
   workload::PrintExperimentHeader(
       "Figure 6 - commits vs data contention (VVV, 500 txns)",
       "basic flat ~290/500; CP 370/500 @20 attrs -> 494/500 @500 attrs");
@@ -23,7 +24,9 @@ int main() {
       workload::RunnerConfig config = bench::PaperWorkload(protocol);
       config.workload.num_attributes = attributes;
       workload::RunStats stats =
-          workload::RunExperiment(bench::PaperCluster("VVV"), config);
+          perf.Run(std::to_string(attributes) + "attrs/" +
+                       txn::ProtocolName(protocol),
+                   bench::PaperCluster("VVV"), config);
       rows.push_back(bench::ResultRow(std::to_string(attributes) + " attrs",
                                       protocol, stats));
     }

@@ -9,7 +9,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig7_throughput");
   workload::PrintExperimentHeader(
       "Figure 7 - commits vs offered load (VVV, 100 attrs, 500 txns)",
       "both degrade with load; CP consistently above basic; promotions grow "
@@ -24,7 +25,9 @@ int main() {
       config.stagger =
           static_cast<TimeMicros>(1e6 / aggregate_tps);  // even spacing
       workload::RunStats stats =
-          workload::RunExperiment(bench::PaperCluster("VVV"), config);
+          perf.Run(workload::FormatDouble(aggregate_tps, 1) + "tps/" +
+                       txn::ProtocolName(protocol),
+                   bench::PaperCluster("VVV"), config);
       rows.push_back(bench::ResultRow(
           workload::FormatDouble(aggregate_tps, 1) + " txn/s", protocol,
           stats));

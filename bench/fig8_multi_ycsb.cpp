@@ -12,7 +12,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig8_multi_ycsb");
   workload::PrintExperimentHeader(
       "Figure 8 - per-datacenter YCSB instances (VOC, 500 txns each)",
       "O & C commit slightly more (closer quorum); CP >= 2x basic commits "
@@ -30,7 +31,8 @@ int main() {
     config.target_rate_tps = 0.25;
     config.thread_dcs = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2};
     workload::RunStats stats =
-        workload::RunExperiment(bench::PaperCluster("VOC"), config);
+        perf.Run(std::string("VOC/") + txn::ProtocolName(protocol),
+                 bench::PaperCluster("VOC"), config);
 
     for (DcId dc = 0; dc < 3; ++dc) {
       const int attempted = stats.attempted_by_dc.count(dc)

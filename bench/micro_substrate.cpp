@@ -1,12 +1,21 @@
 // Microbenchmarks of the substrates (google-benchmark): the multi-version
-// store's three atomic operations, the log-entry codec, the conflict /
-// combination machinery, the simulator's event throughput, and a full
-// end-to-end commit (virtual-time protocol run, measured in wall time).
+// store's three atomic operations plus the COW merge/read paths, the
+// log-entry codec and streamed fingerprint, the conflict / combination
+// machinery, the simulator's event throughput and cancel-heavy churn, and a
+// full end-to-end commit (virtual-time protocol run, measured in wall time).
+//
+// Pass `--json <path>` to also write a perf-trajectory snapshot
+// (name → ns/op, items/s); the schema is documented in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "common/random.h"
 #include "core/cluster.h"
+#include "experiment_common.h"
 #include "kvstore/store.h"
+#include "paxos/ballot.h"
 #include "paxos/value_selection.h"
 #include "sim/coro.h"
 #include "txn/client.h"
@@ -15,6 +24,8 @@
 
 namespace paxoscp {
 namespace {
+
+using AttrMap = kvstore::AttributeMap;
 
 // ---------------------------------------------------------------- kvstore
 
@@ -30,10 +41,17 @@ void BM_StoreWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreWrite);
 
+/// 16-attribute rows: the snapshot-read cost that matters is handing the
+/// version's attribute map to the caller (deep copy before D5, shared
+/// pointer after), so the row must have realistic width.
 void BM_StoreReadSnapshot(benchmark::State& state) {
   kvstore::MultiVersionStore store;
   for (Timestamp ts = 1; ts <= state.range(0); ++ts) {
-    (void)store.Write("row", {{"a", std::to_string(ts)}}, ts);
+    AttrMap attrs;
+    for (int a = 0; a < 16; ++a) {
+      attrs["a" + std::to_string(a)] = "value-" + std::to_string(ts);
+    }
+    (void)store.Write("row", std::move(attrs), ts);
   }
   Rng rng(1);
   for (auto _ : state) {
@@ -44,6 +62,18 @@ void BM_StoreReadSnapshot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StoreReadSnapshot)->Arg(8)->Arg(128)->Arg(2048);
+
+void BM_StoreReadAttrView(benchmark::State& state) {
+  kvstore::MultiVersionStore store;
+  AttrMap attrs;
+  for (int a = 0; a < 16; ++a) attrs["a" + std::to_string(a)] = "sixteen-b-value";
+  (void)store.Write("row", std::move(attrs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ReadAttrView("row", "a7"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreReadAttrView);
 
 void BM_StoreCheckAndWrite(benchmark::State& state) {
   kvstore::MultiVersionStore store;
@@ -58,6 +88,27 @@ void BM_StoreCheckAndWrite(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StoreCheckAndWrite);
+
+/// The log-applier hot path: overlay a handful of updates on a wide row.
+void BM_StoreMergeWriteWide(benchmark::State& state) {
+  kvstore::MultiVersionStore store;
+  AttrMap base;
+  for (int a = 0; a < state.range(0); ++a) {
+    base["a" + std::to_string(a)] = "value-" + std::to_string(a);
+  }
+  (void)store.Write("row", std::move(base), 1);
+  const AttrMap updates = {{"a1", "update-value-1"}, {"a2", "update-value-2"},
+                           {"a3", "update-value-3"}, {"a4", "update-value-4"}};
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    ++ts;
+    benchmark::DoNotOptimize(store.MergeWrite("row", updates, ts));
+    // Periodic GC keeps memory bounded without dominating the loop.
+    if ((ts & 1023) == 0) store.TruncateVersions("row", ts - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreMergeWriteWide)->Arg(64)->Arg(256);
 
 // ------------------------------------------------------------- log codec
 
@@ -114,6 +165,15 @@ void BM_LogEntryFingerprint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LogEntryFingerprint);
+
+void BM_BallotEncodeDecode(benchmark::State& state) {
+  const paxos::Ballot b{42, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paxos::Ballot::Decode(b.Encode()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BallotEncodeDecode);
 
 // --------------------------------------------------- conflict/combination
 
@@ -177,6 +237,24 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
+/// The RPC-timeout pattern: most scheduled timers are cancelled before they
+/// fire. 8 schedules, 7 cancels, 1 execution per iteration.
+void BM_SimulatorScheduleCancelChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  int counter = 0;
+  for (auto _ : state) {
+    sim::EventId ids[8];
+    for (int i = 0; i < 8; ++i) {
+      ids[i] = sim.ScheduleAfter(100 + i, [&counter] { ++counter; });
+    }
+    for (int i = 0; i < 7; ++i) sim.Cancel(ids[i]);
+    sim.Step();  // drains the cancelled timers, runs the survivor
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SimulatorScheduleCancelChurn);
+
 // ----------------------------------------------------- end-to-end commit
 
 sim::Task CommitOne(txn::TransactionClient* client, std::string value,
@@ -210,7 +288,54 @@ void BM_EndToEndCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndCommit)->Unit(benchmark::kMicrosecond);
 
+// ------------------------------------------------------- --json reporter
+
+/// Console reporter that additionally accumulates every run into a
+/// PerfJsonWriter snapshot.
+class JsonSnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSnapshotReporter(bench::PerfJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters = static_cast<double>(run.iterations);
+      const double ns_per_op =
+          iters > 0 ? run.real_accumulated_time * 1e9 / iters : 0;
+      double items_per_s = 0;
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        items_per_s = it->second;
+      }
+      writer_->Add(run.benchmark_name(), ns_per_op, items_per_s);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::PerfJsonWriter* writer_;
+};
+
 }  // namespace
 }  // namespace paxoscp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = paxoscp::bench::TakeJsonPathArg(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    paxoscp::bench::PerfJsonWriter writer("micro_substrate");
+    paxoscp::JsonSnapshotReporter reporter(&writer);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!writer.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("perf snapshot written to %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

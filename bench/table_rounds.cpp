@@ -11,7 +11,8 @@
 
 using namespace paxoscp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "table_rounds");
   workload::PrintExperimentHeader(
       "Section 6 statistics - promotion rounds, combinations, messages",
       "majority of txns settle within 2 promotions, none beyond ~7; "
@@ -27,14 +28,16 @@ int main() {
   for (int run = 0; run < kRuns; ++run) {
     workload::RunnerConfig basic =
         bench::PaperWorkload(txn::Protocol::kBasicPaxos, 100 + run);
-    workload::RunStats basic_stats =
-        workload::RunExperiment(bench::PaperCluster("VVV", 200 + run), basic);
+    workload::RunStats basic_stats = perf.Run(
+        "run" + std::to_string(run) + "/basic",
+        bench::PaperCluster("VVV", 200 + run), basic);
     basic_msgs += basic_stats.messages_per_attempt;
 
     workload::RunnerConfig cp =
         bench::PaperWorkload(txn::Protocol::kPaxosCP, 100 + run);
-    workload::RunStats stats =
-        workload::RunExperiment(bench::PaperCluster("VVV", 200 + run), cp);
+    workload::RunStats stats = perf.Run(
+        "run" + std::to_string(run) + "/cp",
+        bench::PaperCluster("VVV", 200 + run), cp);
     cp_msgs += stats.messages_per_attempt;
     total_combined_entries += stats.combined_entries;
     total_combined_txns += stats.combined_txns;

@@ -89,7 +89,7 @@ int main() {
   config.seed = 99;
   core::Cluster cluster(config);
 
-  std::map<std::string, std::string> ledger;
+  kvstore::AttributeMap ledger;
   for (int i = 0; i < kAccounts; ++i) {
     ledger[Account(i)] = std::to_string(kInitialBalance);
   }

@@ -1,5 +1,7 @@
 #include "common/coding.h"
 
+#include <cstring>
+
 namespace paxoscp {
 
 void PutFixed32(std::string* dst, uint32_t value) {
@@ -101,13 +103,104 @@ bool GetVarsint64(std::string_view* input, int64_t* value) {
   return true;
 }
 
-uint64_t Fingerprint64(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ULL;  // FNV prime
-  }
+namespace {
+
+constexpr uint64_t kMul1 = 0x9e3779b185ebca87ULL;  // xxHash64 primes
+constexpr uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+inline uint64_t Rotl(uint64_t v, int s) { return (v << s) | (v >> (64 - s)); }
+
+inline uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kMul1;
+  h ^= h >> 29;
+  h *= kMul2;
+  h ^= h >> 32;
   return h;
+}
+
+}  // namespace
+
+void Fingerprinter::Mix(uint64_t word) {
+  state_ = Rotl(state_ ^ (word * kMul1), 31) * kMul2;
+}
+
+namespace {
+
+inline uint64_t LoadWordLE(const char* p) {
+  uint64_t word;
+  std::memcpy(&word, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  word = __builtin_bswap64(word);  // match the little-endian byte packing
+#endif
+  return word;
+}
+
+}  // namespace
+
+void Fingerprinter::Add(std::string_view data) {
+  const char* p = data.data();
+  size_t n = data.size();
+  total_len_ += n;
+  if (pending_len_ > 0 && n >= 8) {
+    // Unaligned bulk path: merge each input word into the partial word by
+    // shifting, instead of re-packing byte by byte. pending_len_ is
+    // invariant through the loop.
+    const uint32_t shift = 8 * pending_len_;
+    const uint32_t inv = 64 - shift;  // both in [8, 56]: shifts well-defined
+    do {
+      const uint64_t word = LoadWordLE(p);
+      Mix(pending_ | (word << shift));
+      pending_ = word >> inv;
+      p += 8;
+      n -= 8;
+    } while (n >= 8);
+  } else {
+    while (n >= 8) {
+      Mix(LoadWordLE(p));
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n > 0) {
+    pending_ |= static_cast<uint64_t>(static_cast<unsigned char>(*p))
+                << (8 * pending_len_);
+    if (++pending_len_ == 8) {
+      Mix(pending_);
+      pending_ = 0;
+      pending_len_ = 0;
+    }
+    ++p;
+    --n;
+  }
+}
+
+void Fingerprinter::AddFixed64(uint64_t v) {
+  total_len_ += 8;
+  if (pending_len_ == 0) {
+    // Aligned: a fixed64's little-endian bytes are exactly one word.
+    Mix(v);
+    return;
+  }
+  // Unaligned: low bytes of v complete the partial word; the rest carries.
+  const uint32_t shift = 8 * pending_len_;
+  Mix(pending_ | (v << shift));
+  pending_ = v >> (64 - shift);
+}
+
+uint64_t Fingerprinter::Finish() const {
+  uint64_t h = state_;
+  if (pending_len_ > 0) {
+    // total_len_ below disambiguates a padded tail from literal zero bytes.
+    h = Rotl(h ^ (pending_ * kMul1), 31) * kMul2;
+  }
+  return Avalanche(h ^ total_len_);
+}
+
+uint64_t Fingerprint64(std::string_view data) {
+  Fingerprinter fp;
+  fp.Add(data);
+  return fp.Finish();
 }
 
 }  // namespace paxoscp

@@ -1,0 +1,125 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// The discrete-event simulator schedules millions of short-lived callbacks
+// per run; wrapping each in std::function costs a heap allocation whenever
+// the capture exceeds the (implementation-defined, ~16-byte) inline buffer.
+// InlineFunction widens the inline buffer (48 bytes by default — enough for
+// every callback the protocol layer schedules) and drops the copyability
+// requirement, so scheduling an event allocates nothing in the common case.
+// Oversized or over-aligned callables transparently fall back to the heap.
+//
+// See docs/ARCHITECTURE.md, design note D5 (substrate fast paths).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace paxoscp {
+
+template <typename Signature, size_t kInlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t kInlineBytes>
+class InlineFunction<R(Args...), kInlineBytes> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (sizeof(D) <= kStorageBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &InlineInvoke<D>;
+      manage_ = &InlineManage<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &HeapInvoke<D>;
+      manage_ = &HeapManage<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { Reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  // The buffer must at least fit the heap fallback's pointer.
+  static constexpr size_t kStorageBytes =
+      kInlineBytes < sizeof(void*) ? sizeof(void*) : kInlineBytes;
+
+  enum class Op { kRelocateTo, kDestroy };
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(void* self, void* dst, Op op);
+
+  template <typename D>
+  static R InlineInvoke(void* p, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(p)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void InlineManage(void* self, void* dst, Op op) {
+    D* f = std::launder(reinterpret_cast<D*>(self));
+    if (op == Op::kRelocateTo) ::new (dst) D(std::move(*f));
+    f->~D();  // relocation destroys the source as well
+  }
+  template <typename D>
+  static R HeapInvoke(void* p, Args&&... args) {
+    return (**std::launder(reinterpret_cast<D**>(p)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void HeapManage(void* self, void* dst, Op op) {
+    D** slot = std::launder(reinterpret_cast<D**>(self));
+    if (op == Op::kRelocateTo) {
+      ::new (dst) D*(*slot);  // relocate by stealing the pointer
+    } else {
+      delete *slot;
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(other.storage_, storage_, Op::kRelocateTo);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kStorageBytes];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace paxoscp

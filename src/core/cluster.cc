@@ -36,9 +36,9 @@ txn::TransactionClient* Cluster::CreateClient(
   return clients_.back().get();
 }
 
-Status Cluster::LoadInitialRow(
-    const std::string& group, const std::string& row,
-    const std::map<std::string, std::string>& attributes) {
+Status Cluster::LoadInitialRow(const std::string& group,
+                               const std::string& row,
+                               const kvstore::AttributeMap& attributes) {
   for (DcId dc = 0; dc < num_datacenters(); ++dc) {
     PAXOSCP_RETURN_IF_ERROR(
         services_[dc]->GroupLog(group)->LoadInitialRow(row, attributes));

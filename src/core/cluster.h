@@ -38,7 +38,7 @@ class Cluster {
   /// Seeds the same initial data row into every datacenter (position-0
   /// state, the workload's pre-loaded YCSB row).
   Status LoadInitialRow(const std::string& group, const std::string& row,
-                        const std::map<std::string, std::string>& attributes);
+                        const kvstore::AttributeMap& attributes);
 
   /// Runs the simulation until no events remain (all client coroutines
   /// finished). Returns the number of events executed.

@@ -50,8 +50,11 @@ Result<ClusterConfig> ClusterConfig::FromCode(const std::string& code) {
   for (size_t i = 0; i < code.size(); ++i) {
     Result<Region> region = RegionFromCode(code[i]);
     if (!region.ok()) return region.status();
-    config.datacenters.push_back(DatacenterSpec{
-        std::string(1, code[i]) + std::to_string(i), *region});
+    // Built with += (not a chained rvalue operator+): GCC 12 -O2 emits a
+    // spurious -Wrestrict for the temporary-string concatenation.
+    std::string name(1, code[i]);
+    name += std::to_string(i);
+    config.datacenters.push_back(DatacenterSpec{std::move(name), *region});
   }
   return config;
 }

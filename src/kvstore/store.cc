@@ -1,14 +1,25 @@
 #include "kvstore/store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace paxoscp::kvstore {
+
+namespace {
+
+std::string KeyMessage(const char* prefix, std::string_view key) {
+  std::string msg(prefix);
+  msg += key;
+  return msg;
+}
+
+}  // namespace
 
 const RowVersion* MultiVersionStore::FindVersion(const VersionChain& chain,
                                                  Timestamp timestamp) {
   if (chain.empty()) return nullptr;
   if (timestamp == kLatestTimestamp) return &chain.back();
-  // Last version with ts <= timestamp.
+  // Binary search: last version with ts <= timestamp.
   auto it = std::upper_bound(
       chain.begin(), chain.end(), timestamp,
       [](Timestamp ts, const RowVersion& v) { return ts < v.timestamp; });
@@ -16,103 +27,142 @@ const RowVersion* MultiVersionStore::FindVersion(const VersionChain& chain,
   return &*std::prev(it);
 }
 
-Result<RowVersion> MultiVersionStore::Read(const std::string& key,
-                                           Timestamp timestamp) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return Status::NotFound("no such key: " + key);
-  const RowVersion* v = FindVersion(it->second, timestamp);
-  if (v == nullptr) {
-    return Status::NotFound("no version of '" + key + "' at ts <= " +
-                            std::to_string(timestamp));
-  }
-  return *v;
-}
-
-Result<std::string> MultiVersionStore::ReadAttr(const std::string& key,
-                                                const std::string& attribute,
-                                                Timestamp timestamp) const {
-  Result<RowVersion> row = Read(key, timestamp);
-  if (!row.ok()) return row.status();
-  auto it = row->attributes.find(attribute);
-  if (it == row->attributes.end()) {
-    return Status::NotFound("key '" + key + "' has no attribute '" +
-                            attribute + "'");
+MultiVersionStore::VersionChain& MultiVersionStore::ChainFor(
+    std::string_view key) {
+  auto it = rows_.lower_bound(key);
+  if (it == rows_.end() || it->first != key) {
+    it = rows_.emplace_hint(it, std::string(key), VersionChain{});
   }
   return it->second;
 }
 
-Status MultiVersionStore::Write(const std::string& key,
-                                std::map<std::string, std::string> attributes,
+Result<RowVersion> MultiVersionStore::Read(std::string_view key,
+                                           Timestamp timestamp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound(KeyMessage("no such key: ", key));
+  const RowVersion* v = FindVersion(it->second, timestamp);
+  if (v == nullptr) {
+    return Status::NotFound(KeyMessage("no version at requested ts of key: ", key));
+  }
+  return *v;  // cheap: shared snapshot, no attribute copy
+}
+
+Result<std::string> MultiVersionStore::ReadAttr(std::string_view key,
+                                                std::string_view attribute,
+                                                Timestamp timestamp) const {
+  Result<AttrView> view = ReadAttrView(key, attribute, timestamp);
+  if (!view.ok()) return view.status();
+  return std::string(view->value);
+}
+
+Result<AttrView> MultiVersionStore::ReadAttrView(std::string_view key,
+                                                 std::string_view attribute,
+                                                 Timestamp timestamp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound(KeyMessage("no such key: ", key));
+  const RowVersion* v = FindVersion(it->second, timestamp);
+  if (v == nullptr) {
+    return Status::NotFound(KeyMessage("no version at requested ts of key: ", key));
+  }
+  auto attr = v->attributes->find(attribute);
+  if (attr == v->attributes->end()) {
+    return Status::NotFound(KeyMessage("attribute not found on key: ", key));
+  }
+  return AttrView{v->attributes, attr->second};
+}
+
+Status MultiVersionStore::Write(std::string_view key, AttributeMap attributes,
                                 Timestamp timestamp) {
   std::lock_guard<std::mutex> lock(mu_);
-  VersionChain& chain = rows_[key];
+  VersionChain& chain = ChainFor(key);
   Timestamp ts = timestamp;
   if (ts == kLatestTimestamp) {
     ts = chain.empty() ? 1 : chain.back().timestamp + 1;
   } else if (!chain.empty() && chain.back().timestamp >= ts) {
     return Status::Conflict(
         "version with timestamp >= " + std::to_string(ts) +
-        " already exists for key '" + key + "'");
+        " already exists for key '" + std::string(key) + "'");
   }
-  chain.push_back(RowVersion{ts, std::move(attributes)});
+  chain.push_back(
+      RowVersion{ts, std::make_shared<const AttributeMap>(std::move(attributes))});
   return Status::OK();
 }
 
-Status MultiVersionStore::CheckAndWrite(
-    const std::string& key, const std::string& test_attribute,
-    const std::string& test_value,
-    std::map<std::string, std::string> attributes) {
+Status MultiVersionStore::CheckAndWrite(std::string_view key,
+                                        std::string_view test_attribute,
+                                        std::string_view test_value,
+                                        AttributeMap attributes) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string current;  // missing row/attribute reads as ""
-  VersionChain& chain = rows_[key];
+  std::string_view current;  // missing row/attribute reads as ""
+  VersionChain& chain = ChainFor(key);
   if (!chain.empty()) {
-    const auto& latest = chain.back().attributes;
+    const AttributeMap& latest = *chain.back().attributes;
     auto it = latest.find(test_attribute);
     if (it != latest.end()) current = it->second;
   }
   if (current != test_value) {
-    return Status::Conflict("checkAndWrite: '" + key + "." + test_attribute +
-                            "' is '" + current + "', expected '" + test_value +
-                            "'");
+    std::string msg("checkAndWrite mismatch: '");
+    msg += key;
+    msg += '.';
+    msg += test_attribute;
+    msg += "' is '";
+    msg += current;
+    msg += "', expected '";
+    msg += test_value;
+    msg += '\'';
+    return Status::Conflict(std::move(msg));
   }
   const Timestamp ts = chain.empty() ? 1 : chain.back().timestamp + 1;
-  chain.push_back(RowVersion{ts, std::move(attributes)});
+  chain.push_back(
+      RowVersion{ts, std::make_shared<const AttributeMap>(std::move(attributes))});
   return Status::OK();
 }
 
-Status MultiVersionStore::MergeWrite(
-    const std::string& key, const std::map<std::string, std::string>& updates,
-    Timestamp timestamp) {
+Status MultiVersionStore::MergeWrite(std::string_view key,
+                                     const AttributeMap& updates,
+                                     Timestamp timestamp) {
   std::lock_guard<std::mutex> lock(mu_);
-  VersionChain& chain = rows_[key];
+  VersionChain& chain = ChainFor(key);
   if (!chain.empty() && chain.back().timestamp >= timestamp) {
     // Idempotent replay: the log applier may re-apply a position after a
     // catch-up; an existing version at or past this timestamp means the
     // write already happened.
     return Status::Conflict("merge-write below existing timestamp");
   }
-  std::map<std::string, std::string> merged =
-      chain.empty() ? std::map<std::string, std::string>{}
-                    : chain.back().attributes;
-  for (const auto& [attr, value] : updates) merged[attr] = value;
+  AttributeMapPtr merged;
+  if (chain.empty()) {
+    merged = std::make_shared<const AttributeMap>(updates);
+  } else if (updates.empty()) {
+    merged = chain.back().attributes;  // pure share: no copy at all
+  } else {
+    // Structural clone of the base (std::map's copy constructor rebuilds
+    // the tree with no comparisons or rebalancing — measurably faster than
+    // element-wise merged construction), then overlay the few updates.
+    auto out = std::make_shared<AttributeMap>(*chain.back().attributes);
+    for (const auto& [attr, value] : updates) {
+      out->insert_or_assign(attr, value);
+    }
+    merged = std::move(out);
+  }
   chain.push_back(RowVersion{timestamp, std::move(merged)});
   return Status::OK();
 }
 
-bool MultiVersionStore::Contains(const std::string& key) const {
+bool MultiVersionStore::Contains(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(key);
   return it != rows_.end() && !it->second.empty();
 }
 
-size_t MultiVersionStore::VersionCount(const std::string& key) const {
+size_t MultiVersionStore::VersionCount(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(key);
   return it == rows_.end() ? 0 : it->second.size();
 }
 
-size_t MultiVersionStore::TruncateVersions(const std::string& key,
+size_t MultiVersionStore::TruncateVersions(std::string_view key,
                                            Timestamp watermark) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(key);
@@ -120,13 +170,9 @@ size_t MultiVersionStore::TruncateVersions(const std::string& key,
   VersionChain& chain = it->second;
   const RowVersion* keep = FindVersion(chain, watermark);
   if (keep == nullptr) return 0;
-  const Timestamp keep_ts = keep->timestamp;
-  size_t removed = 0;
-  auto first_kept = std::find_if(
-      chain.begin(), chain.end(),
-      [keep_ts](const RowVersion& v) { return v.timestamp >= keep_ts; });
-  removed = static_cast<size_t>(std::distance(chain.begin(), first_kept));
-  chain.erase(chain.begin(), first_kept);
+  const size_t removed =
+      static_cast<size_t>(keep - chain.data());  // versions strictly older
+  chain.erase(chain.begin(), chain.begin() + removed);
   return removed;
 }
 
@@ -143,11 +189,14 @@ size_t MultiVersionStore::TruncateAllVersions(Timestamp watermark) {
 }
 
 std::vector<std::string> MultiVersionStore::KeysWithPrefix(
-    const std::string& prefix) const {
+    std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->first.compare(0, prefix.size(), prefix.data(), prefix.size()) !=
+        0) {
+      break;
+    }
     if (!it->second.empty()) out.push_back(it->first);
   }
   return out;

@@ -13,8 +13,13 @@
 //   * CheckAndWrite(...)    — atomic test-and-set on one attribute of the
 //                             latest version, then Write on success.
 //
-// Rows are maps from attribute (column) name to value; each Write stores a
+// Rows are maps from attribute (column) name to value; each write stores a
 // complete row snapshot, mirroring the paper's "new version of the row".
+// Version payloads are copy-on-write (docs/ARCHITECTURE.md, design note
+// D5): a version holds a shared_ptr<const AttributeMap>, so Read hands out
+// a reference to the immutable snapshot instead of deep-copying it, and a
+// snapshot stays valid (and bit-identical) for as long as the caller holds
+// it — even across later writes or garbage collection of the chain.
 // All operations are atomic with respect to one another (single mutex; the
 // simulator is single-threaded but the store is independently thread-safe
 // so it can be exercised standalone).
@@ -22,9 +27,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -32,10 +38,28 @@
 
 namespace paxoscp::kvstore {
 
-/// A row version: full attribute map plus the version timestamp.
+/// Attribute (column) name → value. The transparent comparator enables
+/// heterogeneous lookup, so hot callers probe with string_views instead of
+/// constructing temporary std::string keys.
+using AttributeMap = std::map<std::string, std::string, std::less<>>;
+
+/// Immutable shared snapshot of a row version's attributes.
+using AttributeMapPtr = std::shared_ptr<const AttributeMap>;
+
+/// A row version: the version timestamp plus a shared immutable attribute
+/// snapshot. Copying a RowVersion is two words plus a refcount bump; the
+/// attribute map itself is never copied. `attributes` is never null when
+/// returned by the store.
 struct RowVersion {
   Timestamp timestamp = 0;
-  std::map<std::string, std::string> attributes;
+  AttributeMapPtr attributes;
+};
+
+/// A borrowed attribute value: `value` points into `version`'s map and
+/// remains valid for as long as `version` is held.
+struct AttrView {
+  AttributeMapPtr version;
+  std::string_view value;
 };
 
 class MultiVersionStore {
@@ -46,66 +70,78 @@ class MultiVersionStore {
 
   /// Reads the most recent version of `key` with timestamp <= `timestamp`.
   /// kLatestTimestamp reads the newest version. NotFound if no such version.
-  Result<RowVersion> Read(const std::string& key,
+  Result<RowVersion> Read(std::string_view key,
                           Timestamp timestamp = kLatestTimestamp) const;
 
   /// Reads a single attribute at the given snapshot; NotFound if the row has
-  /// no qualifying version or the version lacks the attribute.
-  Result<std::string> ReadAttr(const std::string& key,
-                               const std::string& attribute,
+  /// no qualifying version or the version lacks the attribute. Copies the
+  /// value; use ReadAttrView for the no-copy path.
+  Result<std::string> ReadAttr(std::string_view key, std::string_view attribute,
                                Timestamp timestamp = kLatestTimestamp) const;
+
+  /// No-copy variant of ReadAttr: returns a view into the shared version
+  /// (valid while the returned AttrView is held) instead of copying the
+  /// value out.
+  Result<AttrView> ReadAttrView(std::string_view key,
+                                std::string_view attribute,
+                                Timestamp timestamp = kLatestTimestamp) const;
 
   /// Creates a new version of `key`. With an explicit timestamp, fails with
   /// Conflict if any version with a timestamp >= `timestamp` exists (the
   /// paper: "If a version with greater timestamp exists, an error is
   /// returned"). With kLatestTimestamp, assigns max-existing + 1.
-  Status Write(const std::string& key,
-               std::map<std::string, std::string> attributes,
+  Status Write(std::string_view key, AttributeMap attributes,
                Timestamp timestamp = kLatestTimestamp);
 
   /// Atomically: if the latest version of `key` has `test_attribute` equal
   /// to `test_value`, apply Write(key, attributes) and return OK; otherwise
   /// Conflict. A missing row or attribute compares equal to the empty
   /// string, so initializing writes can use test_value = "".
-  Status CheckAndWrite(const std::string& key,
-                       const std::string& test_attribute,
-                       const std::string& test_value,
-                       std::map<std::string, std::string> attributes);
+  Status CheckAndWrite(std::string_view key, std::string_view test_attribute,
+                       std::string_view test_value, AttributeMap attributes);
 
   /// Merge-write convenience used by the log applier: reads the latest
   /// version <= `timestamp`, overlays `updates`, writes at `timestamp`.
-  Status MergeWrite(const std::string& key,
-                    const std::map<std::string, std::string>& updates,
+  /// The merged map is a structural clone of the base with the updates
+  /// overlaid; with empty `updates` the new version shares the previous
+  /// snapshot outright (no copy).
+  Status MergeWrite(std::string_view key, const AttributeMap& updates,
                     Timestamp timestamp);
 
   /// True if the key has at least one version.
-  bool Contains(const std::string& key) const;
+  bool Contains(std::string_view key) const;
 
   /// Number of stored versions of `key` (0 if absent).
-  size_t VersionCount(const std::string& key) const;
+  size_t VersionCount(std::string_view key) const;
 
   /// Garbage-collects versions of `key` strictly older than the newest
   /// version with timestamp <= `watermark` (that version stays readable).
-  /// Returns the number of versions removed.
-  size_t TruncateVersions(const std::string& key, Timestamp watermark);
+  /// Snapshots already handed out by Read stay valid: they share the
+  /// attribute map, which outlives its chain entry. Returns the number of
+  /// versions removed.
+  size_t TruncateVersions(std::string_view key, Timestamp watermark);
 
   /// Applies TruncateVersions to every key. Returns total removed.
   size_t TruncateAllVersions(Timestamp watermark);
 
   /// All keys with the given prefix, sorted.
-  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+  std::vector<std::string> KeysWithPrefix(std::string_view prefix) const;
 
   size_t KeyCount() const;
 
  private:
   using VersionChain = std::vector<RowVersion>;  // ascending by timestamp
 
-  /// Returns the newest version with ts <= timestamp, or nullptr.
+  /// Binary-searches the ascending chain for the newest version with
+  /// ts <= timestamp; nullptr if none qualifies.
   static const RowVersion* FindVersion(const VersionChain& chain,
                                        Timestamp timestamp);
 
+  /// Chain for `key`, created empty on first use (callers hold mu_).
+  VersionChain& ChainFor(std::string_view key);
+
   mutable std::mutex mu_;
-  std::map<std::string, VersionChain> rows_;
+  std::map<std::string, VersionChain, std::less<>> rows_;
 };
 
 }  // namespace paxoscp::kvstore

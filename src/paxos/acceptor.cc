@@ -28,7 +28,7 @@ Acceptor::State Acceptor::ReadState(LogPos pos) const {
   State state;
   Result<kvstore::RowVersion> row = store_->Read(StateKey(pos));
   if (!row.ok()) return state;  // initial <-1, -1, bottom>
-  const auto& attrs = row->attributes;
+  const kvstore::AttributeMap& attrs = *row->attributes;
   if (auto it = attrs.find(kNextBalAttr); it != attrs.end()) {
     state.next_bal = Ballot::Decode(it->second);
   }
@@ -55,9 +55,9 @@ PrepareResult Acceptor::OnPrepare(LogPos pos, const Ballot& b) {
       result.decided = *std::move(entry);
     }
     if (b > state.next_bal) {
-      const std::string old_next = state.next_bal.IsNull()
-                                       ? std::string()
-                                       : state.next_bal.Encode();
+      // Encode() of the null ballot is "" — the store's missing-attribute
+      // convention — so unset state needs no special casing.
+      const std::string old_next = state.next_bal.Encode();
       Status s = store_->CheckAndWrite(
           StateKey(pos), kNextBalAttr, old_next,
           {{kNextBalAttr, b.Encode()},
@@ -93,8 +93,7 @@ AcceptResult Acceptor::OnAccept(LogPos pos, const Ballot& b,
       result.accepted = false;
       return result;
     }
-    const std::string old_next =
-        state.next_bal.IsNull() ? std::string() : state.next_bal.Encode();
+    const std::string old_next = state.next_bal.Encode();
     const Ballot new_next = std::max(state.next_bal, b);
     Status s = store_->CheckAndWrite(StateKey(pos), kNextBalAttr, old_next,
                                      {{kNextBalAttr, new_next.Encode()},
@@ -120,8 +119,7 @@ Status Acceptor::OnApply(LogPos pos, const Ballot& b,
                                 value.Fingerprint()) {
       return Status::OK();
     }
-    const std::string old_next =
-        state.next_bal.IsNull() ? std::string() : state.next_bal.Encode();
+    const std::string old_next = state.next_bal.Encode();
     const Ballot new_next = std::max(state.next_bal, b);
     const Ballot new_vote = std::max(state.vote_ballot, b);
     Status s = store_->CheckAndWrite(StateKey(pos), kNextBalAttr, old_next,

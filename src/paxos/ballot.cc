@@ -1,23 +1,39 @@
 #include "paxos/ballot.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/coding.h"
 
 namespace paxoscp::paxos {
 
 std::string Ballot::Encode() const {
-  return std::to_string(round) + "." + std::to_string(proposer);
+  if (IsNull()) return std::string();
+  char buf[2 * kMaxVarint64Bytes];
+  char* p = EncodeVarint64To(buf, ZigZagEncode(round));
+  p = EncodeVarint64To(p, ZigZagEncode(proposer));
+  return std::string(buf, static_cast<size_t>(p - buf));
 }
 
 Ballot Ballot::Decode(std::string_view s) {
   Ballot b;
-  if (s.empty()) return b;
-  const size_t dot = s.find('.');
-  if (dot == std::string_view::npos) return b;
-  b.round = std::strtoll(std::string(s.substr(0, dot)).c_str(), nullptr, 10);
-  b.proposer = static_cast<DcId>(
-      std::strtol(std::string(s.substr(dot + 1)).c_str(), nullptr, 10));
+  if (s.empty()) return b;  // null ballot
+  int64_t round = 0;
+  int64_t proposer = 0;
+  if (!GetVarsint64(&s, &round) || !GetVarsint64(&s, &proposer) ||
+      !s.empty()) {
+    return Ballot{};  // malformed: treat as null
+  }
+  b.round = round;
+  b.proposer = static_cast<DcId>(proposer);
   return b;
+}
+
+std::string Ballot::ToString() const {
+  if (IsNull()) return "null";
+  std::string out = std::to_string(round);
+  out += '.';
+  out += std::to_string(proposer);
+  return out;
 }
 
 Ballot NextBallot(const Ballot& max_seen, DcId proposer) {

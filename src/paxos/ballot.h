@@ -23,12 +23,19 @@ struct Ballot {
 
   friend auto operator<=>(const Ballot& a, const Ballot& b) = default;
 
-  /// Compact string form "round.proposer" used when persisting acceptor
-  /// state in the key-value store (Algorithm 1 keeps it in datastore rows).
+  /// Compact binary form (zigzag varints of round then proposer) used when
+  /// persisting acceptor state in the key-value store (Algorithm 1 keeps it
+  /// in datastore rows). Built in a fixed-size stack buffer — no temporary
+  /// heap strings. The null ballot encodes as the empty string, matching the
+  /// store's "missing attribute reads as empty" convention, so acceptor
+  /// CheckAndWrite tests against unset state need no special casing.
   std::string Encode() const;
   static Ballot Decode(std::string_view s);
 
-  std::string ToString() const { return Encode(); }
+  /// Human-readable "round.proposer" (e.g. "3.1"; "null" for the null
+  /// ballot) for logs and test output. NOT the persisted encoding — see
+  /// Encode() for that.
+  std::string ToString() const;
 };
 
 inline constexpr Ballot kNullBallot{};

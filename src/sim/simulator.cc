@@ -17,42 +17,122 @@ Simulator::~Simulator() { t_current_simulator = previous_current_; }
 
 Simulator* Simulator::Current() { return t_current_simulator; }
 
-EventId Simulator::ScheduleAt(TimeMicros when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
-  return id;
+bool Simulator::SlotLess(uint32_t a, uint32_t b) const {
+  const Slot& x = slots_[a];
+  const Slot& y = slots_[b];
+  if (x.time != y.time) return x.time < y.time;
+  return x.seq < y.seq;  // FIFO among equal timestamps
 }
 
-EventId Simulator::ScheduleAfter(TimeMicros delay, std::function<void()> fn) {
+void Simulator::HeapPush(uint32_t slot) {
+  heap_.push_back(slot);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!SlotLess(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+uint32_t Simulator::HeapPop() {
+  const uint32_t top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && SlotLess(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && SlotLess(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return top;
+}
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::FreeSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = nullptr;
+  s.in_use = false;
+  s.cancelled = false;
+  ++s.generation;  // invalidate outstanding EventIds for this slot
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventId Simulator::ScheduleAt(TimeMicros when, EventFn fn) {
+  const uint32_t index = AllocSlot();
+  Slot& s = slots_[index];
+  s.time = std::max(when, now_);
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  s.in_use = true;
+  s.cancelled = false;
+  HeapPush(index);
+  ++live_;
+  return MakeId(s.generation, index);
+}
+
+EventId Simulator::ScheduleAfter(TimeMicros delay, EventFn fn) {
   return ScheduleAt(now_ + std::max<TimeMicros>(delay, 0), std::move(fn));
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
+  if (id == kInvalidEventId) return;
+  const uint32_t index = static_cast<uint32_t>(id);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) return;
+  Slot& s = slots_[index];
+  // Generation mismatch means the event already ran (or its slot was
+  // recycled): exact no-op, never an accounting tombstone.
+  if (!s.in_use || s.generation != generation || s.cancelled) return;
+  s.cancelled = true;
+  s.fn = nullptr;  // release captured state eagerly
+  --live_;
+}
+
+uint32_t Simulator::PeekLive() {
+  while (!heap_.empty()) {
+    const uint32_t top = heap_.front();
+    if (!slots_[top].cancelled) return top;
+    FreeSlot(HeapPop());
+  }
+  return kNoSlot;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // std::priority_queue::top is const; move via const_cast is the standard
-    // pattern for pop-and-run queues.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++executed_;
-    // Events may run coroutines belonging to this simulator even when
-    // another Simulator was constructed more recently on this thread.
-    Simulator* prev = t_current_simulator;
-    t_current_simulator = this;
-    ev.fn();
-    t_current_simulator = prev;
-    return true;
-  }
-  return false;
+  const uint32_t index = PeekLive();
+  if (index == kNoSlot) return false;
+  HeapPop();
+  Slot& s = slots_[index];
+  now_ = s.time;
+  ++executed_;
+  --live_;
+  EventFn fn = std::move(s.fn);
+  // Free before running: the callback may schedule (and even cancel) new
+  // events, which can recycle this slot under a fresh generation.
+  FreeSlot(index);
+  // Events may run coroutines belonging to this simulator even when
+  // another Simulator was constructed more recently on this thread.
+  Simulator* prev = t_current_simulator;
+  t_current_simulator = this;
+  fn();
+  t_current_simulator = prev;
+  return true;
 }
 
 uint64_t Simulator::Run(uint64_t max_events) {
@@ -63,15 +143,9 @@ uint64_t Simulator::Run(uint64_t max_events) {
 
 uint64_t Simulator::RunUntil(TimeMicros deadline) {
   uint64_t n = 0;
-  while (!queue_.empty()) {
-    // Skip leading cancelled events so top() reflects a real event time.
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > deadline) break;
+  for (;;) {
+    const uint32_t index = PeekLive();
+    if (index == kNoSlot || slots_[index].time > deadline) break;
     Step();
     ++n;
   }

@@ -1,14 +1,20 @@
 // Deterministic discrete-event simulator. All "time" in the system is
 // virtual: events execute in (time, insertion-order) order on a single
 // thread, so a whole multi-datacenter run is reproducible from a seed.
+//
+// Implementation (docs/ARCHITECTURE.md, design note D5): events live in a
+// recycled slot pool indexed by a binary heap of slot indices keyed on
+// (time, seq) — no per-event container allocations. Event handles carry a
+// per-slot generation counter, so Cancel of an event that already ran (or
+// whose slot was recycled) is an exact no-op instead of a tombstone that
+// could skew PendingEvents(). Callbacks are InlineFunctions: scheduling does
+// not heap-allocate unless a capture exceeds the inline buffer.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace paxoscp::sim {
@@ -16,6 +22,10 @@ namespace paxoscp::sim {
 /// Handle for cancelling a scheduled event.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
+
+/// Event callback. 48 inline bytes covers every callback the protocol layer
+/// schedules; larger captures transparently go to the heap.
+using EventFn = InlineFunction<void()>;
 
 class Simulator {
  public:
@@ -36,10 +46,10 @@ class Simulator {
   TimeMicros Now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `when` (clamped to Now()).
-  EventId ScheduleAt(TimeMicros when, std::function<void()> fn);
+  EventId ScheduleAt(TimeMicros when, EventFn fn);
 
   /// Schedules `fn` to run `delay` microseconds from now.
-  EventId ScheduleAfter(TimeMicros delay, std::function<void()> fn);
+  EventId ScheduleAfter(TimeMicros delay, EventFn fn);
 
   /// Cancels a pending event. No-op if it already ran or was cancelled.
   void Cancel(EventId id);
@@ -55,33 +65,48 @@ class Simulator {
   /// Executes the single next event, if any. Returns false when idle.
   bool Step();
 
-  /// Number of pending (non-cancelled) events.
-  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  /// Number of pending (scheduled, not yet run, not cancelled) events.
+  size_t PendingEvents() const { return live_; }
 
   /// Total events executed since construction.
   uint64_t EventsExecuted() const { return executed_; }
 
  private:
-  struct Event {
-    TimeMicros time;
-    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// One pooled event. `generation` advances every time the slot is
+  /// recycled, invalidating stale EventIds.
+  struct Slot {
+    TimeMicros time = 0;
+    uint64_t seq = 0;
+    EventFn fn;
+    uint32_t generation = 1;
+    uint32_t next_free = kNoSlot;
+    bool in_use = false;
+    bool cancelled = false;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static EventId MakeId(uint32_t generation, uint32_t slot) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  bool SlotLess(uint32_t a, uint32_t b) const;
+  void HeapPush(uint32_t slot);
+  uint32_t HeapPop();
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t index);
+  /// Drops cancelled events off the heap top; returns the top live slot
+  /// index or kNoSlot when the heap is empty.
+  uint32_t PeekLive();
 
   TimeMicros now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  size_t live_ = 0;
   Simulator* previous_current_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_;  // slot indices, min-heap on (time, seq)
+  uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace paxoscp::sim

@@ -1,6 +1,7 @@
 #include "wal/log.h"
 
 #include <cassert>
+#include <charconv>
 
 #include "common/coding.h"
 
@@ -25,12 +26,41 @@ bool DecodeProvenance(std::string_view in, TxnId* writer, LogPos* pos) {
   return GetFixed64(&in, writer) && GetVarint64(&in, pos) && in.empty();
 }
 
+/// Parses a decimal LogPos straight from a borrowed view (no temporary
+/// std::string as std::stoull would need).
+LogPos ParsePos(std::string_view s) {
+  LogPos pos = 0;
+  std::from_chars(s.data(), s.data() + s.size(), pos);
+  return pos;
+}
+
+/// Zero-pad width shared by PadPos and JoinKey — the two must agree or
+/// prefix scans stop matching the keys writes produce.
+constexpr size_t kPosPadWidth = 12;
+
+/// Builds "<prefix><group>/<padded pos>" with one allocation.
+std::string JoinKey(std::string_view prefix, std::string_view group,
+                    LogPos pos) {
+  std::string digits = std::to_string(pos);
+  const size_t pad =
+      digits.size() >= kPosPadWidth ? 0 : kPosPadWidth - digits.size();
+  std::string key;
+  key.reserve(prefix.size() + group.size() + 1 + pad + digits.size());
+  key.append(prefix);
+  key.append(group);
+  key.push_back('/');
+  key.append(pad, '0');
+  key.append(digits);
+  return key;
+}
+
 }  // namespace
 
 std::string PadPos(LogPos pos) {
   std::string digits = std::to_string(pos);
-  return std::string(digits.size() >= 12 ? 0 : 12 - digits.size(), '0') +
-         digits;
+  const size_t pad =
+      digits.size() >= kPosPadWidth ? 0 : kPosPadWidth - digits.size();
+  return std::string(pad, '0') + digits;
 }
 
 WriteAheadLog::WriteAheadLog(kvstore::MultiVersionStore* store,
@@ -38,21 +68,27 @@ WriteAheadLog::WriteAheadLog(kvstore::MultiVersionStore* store,
     : store_(store), group_(std::move(group)) {}
 
 std::string WriteAheadLog::EntryKey(LogPos pos) const {
-  return "!log/" + group_ + "/" + PadPos(pos);
+  return JoinKey("!log/", group_, pos);
 }
 std::string WriteAheadLog::MetaKey() const { return "!logmeta/" + group_; }
 std::string WriteAheadLog::AppliedKey() const { return "!applied/" + group_; }
 std::string WriteAheadLog::DataKey(const std::string& row) const {
-  return "d/" + group_ + "/" + row;
+  std::string key;
+  key.reserve(2 + group_.size() + 1 + row.size());
+  key.append("d/");
+  key.append(group_);
+  key.push_back('/');
+  key.append(row);
+  return key;
 }
 
 Status WriteAheadLog::SetEntry(LogPos pos, const LogEntry& entry) {
   assert(pos >= 1);
   const std::string encoded = entry.Encode();
-  Result<std::string> existing =
-      store_->ReadAttr(EntryKey(pos), kEntryAttr);
+  Result<kvstore::AttrView> existing =
+      store_->ReadAttrView(EntryKey(pos), kEntryAttr);
   if (existing.ok()) {
-    if (*existing != encoded) {
+    if (existing->value != encoded) {
       return Status::Corruption(
           "R1 violation: conflicting values decided for " + group_ + "[" +
           std::to_string(pos) + "]");
@@ -66,19 +102,22 @@ Status WriteAheadLog::SetEntry(LogPos pos, const LogEntry& entry) {
 }
 
 Result<LogEntry> WriteAheadLog::GetEntry(LogPos pos) const {
-  Result<std::string> encoded = store_->ReadAttr(EntryKey(pos), kEntryAttr);
+  // Decode straight from the shared version — the encoded entry is never
+  // copied out of the store.
+  Result<kvstore::AttrView> encoded =
+      store_->ReadAttrView(EntryKey(pos), kEntryAttr);
   if (!encoded.ok()) return encoded.status();
-  return LogEntry::Decode(*encoded);
+  return LogEntry::Decode(encoded->value);
 }
 
 bool WriteAheadLog::HasEntry(LogPos pos) const {
-  return store_->ReadAttr(EntryKey(pos), kEntryAttr).ok();
+  return store_->ReadAttrView(EntryKey(pos), kEntryAttr).ok();
 }
 
 LogPos WriteAheadLog::MaxDecided() const {
-  Result<std::string> v = store_->ReadAttr(MetaKey(), kMaxDecidedAttr);
+  Result<kvstore::AttrView> v = store_->ReadAttrView(MetaKey(), kMaxDecidedAttr);
   if (!v.ok()) return 0;
-  return static_cast<LogPos>(std::stoull(*v));
+  return ParsePos(v->value);
 }
 
 void WriteAheadLog::BumpMaxDecided(LogPos pos) {
@@ -87,8 +126,7 @@ void WriteAheadLog::BumpMaxDecided(LogPos pos) {
   for (;;) {
     Result<std::string> cur = store_->ReadAttr(MetaKey(), kMaxDecidedAttr);
     const std::string cur_str = cur.ok() ? *cur : "";
-    const LogPos cur_pos =
-        cur.ok() ? static_cast<LogPos>(std::stoull(*cur)) : 0;
+    const LogPos cur_pos = cur.ok() ? ParsePos(*cur) : 0;
     if (pos <= cur_pos) return;
     Status s = store_->CheckAndWrite(MetaKey(), kMaxDecidedAttr, cur_str,
                                      {{kMaxDecidedAttr, std::to_string(pos)}});
@@ -97,9 +135,9 @@ void WriteAheadLog::BumpMaxDecided(LogPos pos) {
 }
 
 LogPos WriteAheadLog::AppliedThrough() const {
-  Result<std::string> v = store_->ReadAttr(AppliedKey(), kAppliedAttr);
+  Result<kvstore::AttrView> v = store_->ReadAttrView(AppliedKey(), kAppliedAttr);
   if (!v.ok()) return 0;
-  return static_cast<LogPos>(std::stoull(*v));
+  return ParsePos(v->value);
 }
 
 Status WriteAheadLog::ApplyThrough(LogPos target, LogPos* first_missing) {
@@ -114,7 +152,7 @@ Status WriteAheadLog::ApplyThrough(LogPos target, LogPos* first_missing) {
     // Merge all writes of the (ordered) transaction list into per-row
     // updates; later transactions overwrite earlier ones, matching the
     // serial order within the entry.
-    std::map<std::string, std::map<std::string, std::string>> row_updates;
+    std::map<std::string, kvstore::AttributeMap> row_updates;
     for (const TxnRecord& t : entry->txns) {
       for (const WriteRecord& w : t.writes) {
         auto& updates = row_updates[w.item.row];
@@ -143,20 +181,20 @@ ItemRead WriteAheadLog::ReadItem(const ItemId& item, LogPos read_pos) const {
   Result<kvstore::RowVersion> row =
       store_->Read(DataKey(item.row), static_cast<Timestamp>(read_pos));
   if (!row.ok()) return out;  // initial state
-  auto it = row->attributes.find(item.attribute);
-  if (it == row->attributes.end()) return out;
+  const kvstore::AttributeMap& attrs = *row->attributes;
+  auto it = attrs.find(item.attribute);
+  if (it == attrs.end()) return out;
   out.value = it->second;
   out.found = true;
-  auto prov = row->attributes.find(kProvenancePrefix + item.attribute);
-  if (prov != row->attributes.end()) {
+  auto prov = attrs.find(kProvenancePrefix + item.attribute);
+  if (prov != attrs.end()) {
     DecodeProvenance(prov->second, &out.writer, &out.written_pos);
   }
   return out;
 }
 
-Status WriteAheadLog::LoadInitialRow(
-    const std::string& row,
-    const std::map<std::string, std::string>& attributes) {
+Status WriteAheadLog::LoadInitialRow(const std::string& row,
+                                     const kvstore::AttributeMap& attributes) {
   return store_->MergeWrite(DataKey(row), attributes, /*timestamp=*/0);
 }
 
@@ -164,8 +202,7 @@ std::map<LogPos, LogEntry> WriteAheadLog::AllEntries() const {
   std::map<LogPos, LogEntry> out;
   const std::string prefix = "!log/" + group_ + "/";
   for (const std::string& key : store_->KeysWithPrefix(prefix)) {
-    const LogPos pos =
-        static_cast<LogPos>(std::stoull(key.substr(prefix.size())));
+    const LogPos pos = ParsePos(std::string_view(key).substr(prefix.size()));
     Result<LogEntry> entry = GetEntry(pos);
     if (entry.ok()) out.emplace(pos, *std::move(entry));
   }

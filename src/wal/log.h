@@ -67,7 +67,7 @@ class WriteAheadLog {
   /// Loads initial data rows at position 0 (the pre-transaction state used
   /// by workload setup). Writes value attributes only; provenance is 0/0.
   Status LoadInitialRow(const std::string& row,
-                        const std::map<std::string, std::string>& attributes);
+                        const kvstore::AttributeMap& attributes);
 
   /// All decided entries, for invariant checking.
   std::map<LogPos, LogEntry> AllEntries() const;

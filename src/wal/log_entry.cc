@@ -40,6 +40,21 @@ bool TxnRecord::Writes(const ItemId& it) const {
 
 std::string LogEntry::Encode() const {
   std::string out;
+  // Reserve a close upper bound so appends never reallocate: varints are
+  // bounded by kMaxVarint64Bytes and everything else is length-prefixed.
+  size_t bound = 2 * kMaxVarint64Bytes;
+  for (const TxnRecord& t : txns) {
+    bound += 8 + 3 * kMaxVarint64Bytes + 2 * kMaxVarint64Bytes;
+    for (const ReadRecord& r : t.reads) {
+      bound += r.item.row.size() + r.item.attribute.size() + 8 +
+               3 * kMaxVarint64Bytes;
+    }
+    for (const WriteRecord& w : t.writes) {
+      bound += w.item.row.size() + w.item.attribute.size() + w.value.size() +
+               3 * kMaxVarint64Bytes;
+    }
+  }
+  out.reserve(bound);
   PutVarsint64(&out, winner_dc);
   PutVarint64(&out, txns.size());
   for (const TxnRecord& t : txns) {
@@ -113,7 +128,33 @@ Result<LogEntry> LogEntry::Decode(std::string_view data) {
   return entry;
 }
 
-uint64_t LogEntry::Fingerprint() const { return Fingerprint64(Encode()); }
+uint64_t LogEntry::Fingerprint() const {
+  // Streams exactly the bytes Encode() would produce through a chunking-
+  // invariant hasher, so Fingerprint() == Fingerprint64(Encode()) holds
+  // (pinned by tests/wal_test.cc) without materializing the encoding.
+  Fingerprinter fp;
+  fp.AddVarsint64(winner_dc);
+  fp.AddVarint64(txns.size());
+  for (const TxnRecord& t : txns) {
+    fp.AddFixed64(t.id);
+    fp.AddVarsint64(t.origin_dc);
+    fp.AddVarint64(t.read_pos);
+    fp.AddVarint64(t.reads.size());
+    for (const ReadRecord& r : t.reads) {
+      fp.AddLengthPrefixed(r.item.row);
+      fp.AddLengthPrefixed(r.item.attribute);
+      fp.AddFixed64(r.observed_writer);
+      fp.AddVarint64(r.observed_pos);
+    }
+    fp.AddVarint64(t.writes.size());
+    for (const WriteRecord& w : t.writes) {
+      fp.AddLengthPrefixed(w.item.row);
+      fp.AddLengthPrefixed(w.item.attribute);
+      fp.AddLengthPrefixed(w.value);
+    }
+  }
+  return fp.Finish();
+}
 
 bool LogEntry::ContainsTxn(TxnId id) const {
   for (const TxnRecord& t : txns) {

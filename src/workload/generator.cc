@@ -12,7 +12,11 @@ Generator::Generator(const WorkloadConfig& config, uint64_t seed)
             config.zipf_theta) {}
 
 std::string Generator::AttributeName(int i) {
-  return "a" + std::to_string(i);
+  // += instead of `"a" + std::to_string(i)`: GCC 12 -O2 flags the
+  // prepend-into-temporary form with a spurious -Wrestrict.
+  std::string name = "a";
+  name += std::to_string(i);
+  return name;
 }
 
 std::string Generator::RandomValue() {
@@ -44,8 +48,8 @@ std::vector<Op> Generator::NextTxnOps() {
   return ops;
 }
 
-std::map<std::string, std::string> Generator::InitialRow() {
-  std::map<std::string, std::string> row;
+kvstore::AttributeMap Generator::InitialRow() {
+  kvstore::AttributeMap row;
   for (int i = 0; i < config_.num_attributes; ++i) {
     row[AttributeName(i)] = RandomValue();
   }

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "kvstore/store.h"
 
 namespace paxoscp::workload {
 
@@ -46,7 +47,7 @@ class Generator {
   std::vector<Op> NextTxnOps();
 
   /// Initial attribute map for pre-loading the entity-group row.
-  std::map<std::string, std::string> InitialRow();
+  kvstore::AttributeMap InitialRow();
 
   /// Attribute name for index i ("a0", "a1", ...).
   static std::string AttributeName(int i);

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "common/coding.h"
 #include "common/histogram.h"
+#include "common/inline_function.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -170,6 +172,55 @@ TEST(CodingTest, FingerprintDistinguishesAndRepeats) {
   EXPECT_EQ(Fingerprint64("abc"), Fingerprint64("abc"));
   EXPECT_NE(Fingerprint64("abc"), Fingerprint64("abd"));
   EXPECT_NE(Fingerprint64(""), Fingerprint64(std::string_view("\0", 1)));
+}
+
+TEST(CodingTest, EncodeVarint64ToMatchesPutVarint64) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{300}, uint64_t{1} << 40, UINT64_MAX}) {
+    std::string expected;
+    PutVarint64(&expected, v);
+    char buf[kMaxVarint64Bytes];
+    char* end = EncodeVarint64To(buf, v);
+    EXPECT_EQ(std::string_view(buf, static_cast<size_t>(end - buf)),
+              expected);
+  }
+}
+
+TEST(CodingTest, FingerprinterIsChunkingInvariant) {
+  const std::string data =
+      "the digest must not depend on how the byte stream is sliced across "
+      "Add calls, only on the bytes themselves: 0123456789abcdef";
+  const uint64_t whole = Fingerprint64(data);
+  for (size_t cut1 : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                      size_t{40}, data.size()}) {
+    for (size_t cut2 : {cut1, cut1 + 3, data.size()}) {
+      if (cut2 < cut1 || cut2 > data.size()) continue;
+      Fingerprinter fp;
+      fp.Add(std::string_view(data).substr(0, cut1));
+      fp.Add(std::string_view(data).substr(cut1, cut2 - cut1));
+      fp.Add(std::string_view(data).substr(cut2));
+      EXPECT_EQ(fp.Finish(), whole) << "cuts at " << cut1 << "," << cut2;
+    }
+  }
+}
+
+TEST(CodingTest, FingerprinterTypedAddsMatchEncodedBytes) {
+  // AddVarint64 / AddVarsint64 / AddFixed64 / AddLengthPrefixed must hash
+  // exactly the bytes their Put* counterparts would append.
+  std::string encoded;
+  PutVarsint64(&encoded, -42);
+  PutVarint64(&encoded, 1234567);
+  PutFixed64(&encoded, 0xdeadbeefcafef00dULL);
+  PutLengthPrefixed(&encoded, "length-prefixed-payload");
+  PutFixed64(&encoded, 7);  // lands unaligned after the prefix above
+
+  Fingerprinter fp;
+  fp.AddVarsint64(-42);
+  fp.AddVarint64(1234567);
+  fp.AddFixed64(0xdeadbeefcafef00dULL);
+  fp.AddLengthPrefixed("length-prefixed-payload");
+  fp.AddFixed64(7);
+  EXPECT_EQ(fp.Finish(), Fingerprint64(encoded));
 }
 
 // ---------------------------------------------------------------- Random --
@@ -362,6 +413,60 @@ TEST(LoggingTest, LevelGate) {
   SetLogLevel(LogLevel::kOff);
   EXPECT_FALSE(LogEnabled(LogLevel::kError));
   SetLogLevel(old);
+}
+
+// -------------------------------------------------------- InlineFunction --
+
+TEST(InlineFunctionTest, EmptyAndAssignedStates) {
+  InlineFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = [] { return 7; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 7);
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline) {
+  int counter = 0;
+  InlineFunction<void()> f = [&counter] { ++counter; };
+  f();
+  f();
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  auto owned = std::make_unique<int>(5);
+  InlineFunction<int()> f = [p = std::move(owned)] { return *p; };
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[128] = {};
+  };
+  Big big;
+  big.bytes[100] = 42;
+  InlineFunction<int()> f = [big] { return big.bytes[100]; };
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnForwarded) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapture) {
+  auto shared = std::make_shared<int>(1);
+  {
+    InlineFunction<void()> f = [shared] {};
+    EXPECT_EQ(shared.use_count(), 2);
+  }
+  EXPECT_EQ(shared.use_count(), 1);
 }
 
 }  // namespace

@@ -1,15 +1,20 @@
 // Unit tests for the multi-version key-value store — the paper §2.2
-// contract: atomic read/write/checkAndWrite over multi-version rows.
+// contract: atomic read/write/checkAndWrite over multi-version rows —
+// plus the copy-on-write representation guarantees of design note D5
+// (docs/ARCHITECTURE.md): shared snapshots are immutable and survive both
+// later writes and garbage collection.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
+#include "common/random.h"
 #include "kvstore/store.h"
 
 namespace paxoscp::kvstore {
 namespace {
 
-using AttrMap = std::map<std::string, std::string>;
+using AttrMap = AttributeMap;
 
 TEST(StoreTest, ReadMissingKeyIsNotFound) {
   MultiVersionStore store;
@@ -22,7 +27,7 @@ TEST(StoreTest, WriteThenReadLatest) {
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}).ok());
   Result<RowVersion> row = store.Read("k");
   ASSERT_TRUE(row.ok());
-  EXPECT_EQ(row->attributes.at("a"), "1");
+  EXPECT_EQ(row->attributes->at("a"), "1");
   EXPECT_EQ(row->timestamp, 1);
 }
 
@@ -33,28 +38,26 @@ TEST(StoreTest, AutoTimestampsIncrease) {
   Result<RowVersion> row = store.Read("k");
   ASSERT_TRUE(row.ok());
   EXPECT_EQ(row->timestamp, 2);
-  EXPECT_EQ(row->attributes.at("a"), "2");
+  EXPECT_EQ(row->attributes->at("a"), "2");
   EXPECT_EQ(store.VersionCount("k"), 2u);
 }
 
-TEST(StoreTest, SnapshotReadsSeeOlderVersions) {
+TEST(StoreTest, SnapshotReadsSeeOldVersions) {
   MultiVersionStore store;
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v10"}}, 10).ok());
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v20"}}, 20).ok());
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "v30"}}, 30).ok());
 
   EXPECT_TRUE(store.Read("k", 5).status().IsNotFound());
-  EXPECT_EQ(store.Read("k", 10)->attributes.at("a"), "v10");
-  EXPECT_EQ(store.Read("k", 15)->attributes.at("a"), "v10");
-  EXPECT_EQ(store.Read("k", 20)->attributes.at("a"), "v20");
-  EXPECT_EQ(store.Read("k", 29)->attributes.at("a"), "v20");
-  EXPECT_EQ(store.Read("k", 1000)->attributes.at("a"), "v30");
-  EXPECT_EQ(store.Read("k")->attributes.at("a"), "v30");
+  EXPECT_EQ(store.Read("k", 10)->attributes->at("a"), "v10");
+  EXPECT_EQ(store.Read("k", 15)->attributes->at("a"), "v10");
+  EXPECT_EQ(store.Read("k", 20)->attributes->at("a"), "v20");
+  EXPECT_EQ(store.Read("k", 29)->attributes->at("a"), "v20");
+  EXPECT_EQ(store.Read("k", 1000)->attributes->at("a"), "v30");
+  EXPECT_EQ(store.Read("k")->attributes->at("a"), "v30");
 }
 
-TEST(StoreTest, WriteBelowExistingTimestampIsConflict) {
-  // Paper: "If a version with greater timestamp exists, an error is
-  // returned."
+TEST(StoreTest, ExplicitTimestampConflictsBelowLatest) {
   MultiVersionStore store;
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}, 10).ok());
   EXPECT_TRUE(store.Write("k", AttrMap{{"a", "0"}}, 5).IsConflict());
@@ -68,6 +71,19 @@ TEST(StoreTest, ReadAttrFindsAttribute) {
   EXPECT_EQ(*store.ReadAttr("k", "b"), "2");
   EXPECT_TRUE(store.ReadAttr("k", "c").status().IsNotFound());
   EXPECT_TRUE(store.ReadAttr("zzz", "a").status().IsNotFound());
+}
+
+TEST(StoreTest, ReadAttrViewBorrowsWithoutCopy) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "payload"}}).ok());
+  Result<AttrView> view = store.ReadAttrView("k", "a");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->value, "payload");
+  // The view aliases the shared version's storage, not a copy.
+  EXPECT_EQ(view->value.data(), view->version->at("a").data());
+  // The borrowed value stays valid across later writes to the key.
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "other"}}).ok());
+  EXPECT_EQ(view->value, "payload");
 }
 
 TEST(StoreTest, CheckAndWriteSucceedsOnMatch) {
@@ -87,9 +103,7 @@ TEST(StoreTest, CheckAndWriteFailsOnMismatch) {
   EXPECT_EQ(store.VersionCount("k"), 1u);
 }
 
-TEST(StoreTest, CheckAndWriteMissingRowComparesToEmpty) {
-  // Initializing writes use test_value = "" (used by the leader grant and
-  // Paxos state rows).
+TEST(StoreTest, CheckAndWriteMissingRowComparesEmpty) {
   MultiVersionStore store;
   EXPECT_TRUE(store.CheckAndWrite("new", "flag", "",
                                   AttrMap{{"flag", "1"}}).ok());
@@ -98,14 +112,14 @@ TEST(StoreTest, CheckAndWriteMissingRowComparesToEmpty) {
   EXPECT_EQ(*store.ReadAttr("new", "flag"), "1");
 }
 
-TEST(StoreTest, CheckAndWriteMissingAttributeComparesToEmpty) {
+TEST(StoreTest, CheckAndWriteMissingAttributeComparesEmpty) {
   MultiVersionStore store;
   ASSERT_TRUE(store.Write("k", AttrMap{{"other", "x"}}).ok());
   EXPECT_TRUE(store.CheckAndWrite("k", "flag", "",
                                   AttrMap{{"flag", "1"}}).ok());
 }
 
-TEST(StoreTest, CheckAndWriteChecksLatestVersionOnly) {
+TEST(StoreTest, CheckAndWriteTestsLatestVersion) {
   MultiVersionStore store;
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "old"}}, 1).ok());
   ASSERT_TRUE(store.Write("k", AttrMap{{"a", "new"}}, 2).ok());
@@ -120,8 +134,8 @@ TEST(StoreTest, MergeWritePreservesUntouchedAttributes) {
   ASSERT_TRUE(store.MergeWrite("k", AttrMap{{"a", "9"}}, 5).ok());
   Result<RowVersion> row = store.Read("k");
   ASSERT_TRUE(row.ok());
-  EXPECT_EQ(row->attributes.at("a"), "9");
-  EXPECT_EQ(row->attributes.at("b"), "2");
+  EXPECT_EQ(row->attributes->at("a"), "9");
+  EXPECT_EQ(row->attributes->at("b"), "2");
   EXPECT_EQ(row->timestamp, 5);
 }
 
@@ -132,6 +146,97 @@ TEST(StoreTest, MergeWriteIsIdempotentViaConflict) {
   EXPECT_TRUE(store.MergeWrite("k", AttrMap{{"a", "0"}}, 3).IsConflict());
   EXPECT_EQ(store.VersionCount("k"), 1u);
 }
+
+TEST(StoreTest, MergeWriteAddsAndOverwritesInterleavedAttributes) {
+  // Exercises every branch of the ordered-merge construction: update-only
+  // keys before, between, and after base keys, plus overwritten ones.
+  MultiVersionStore store;
+  ASSERT_TRUE(
+      store.Write("k", AttrMap{{"b", "b0"}, {"d", "d0"}, {"f", "f0"}}, 1)
+          .ok());
+  ASSERT_TRUE(store
+                  .MergeWrite("k",
+                              AttrMap{{"a", "a1"},
+                                      {"d", "d1"},
+                                      {"e", "e1"},
+                                      {"g", "g1"}},
+                              2)
+                  .ok());
+  Result<RowVersion> row = store.Read("k");
+  ASSERT_TRUE(row.ok());
+  const AttrMap expected{{"a", "a1"}, {"b", "b0"}, {"d", "d1"},
+                         {"e", "e1"}, {"f", "f0"}, {"g", "g1"}};
+  EXPECT_EQ(*row->attributes, expected);
+}
+
+TEST(StoreTest, MergeWriteWithEmptyUpdatesSharesSnapshot) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}, 1).ok());
+  ASSERT_TRUE(store.MergeWrite("k", AttrMap{}, 2).ok());
+  Result<RowVersion> v1 = store.Read("k", 1);
+  Result<RowVersion> v2 = store.Read("k", 2);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v1->attributes.get(), v2->attributes.get());  // shared, not copied
+}
+
+// ------------------------------------------------------ COW representation
+
+TEST(StoreTest, SnapshotsAreImmutableAcrossLaterWrites) {
+  // A Read handed out before later writes/merges must keep observing its
+  // version's exact bytes (the old deep-copy semantics).
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}, {"b", "2"}}, 1).ok());
+  Result<RowVersion> snapshot = store.Read("k", 1);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(store.MergeWrite("k", AttrMap{{"a", "9"}, {"c", "3"}}, 2).ok());
+  ASSERT_TRUE(store.Write("k", AttrMap{{"z", "z"}}, 3).ok());
+  const AttrMap expected{{"a", "1"}, {"b", "2"}};
+  EXPECT_EQ(*snapshot->attributes, expected);
+}
+
+TEST(StoreTest, CowReadsMatchDeepCopySemantics) {
+  // Property test: run a random op sequence against the COW store and an
+  // eager deep-copy reference model; every snapshot read must observe
+  // identical bytes.
+  Rng rng(20260730);
+  MultiVersionStore store;
+  std::map<Timestamp, AttrMap> model;  // reference: full copy per version
+  AttrMap latest;
+  Timestamp ts = 0;
+  for (int op = 0; op < 500; ++op) {
+    const int kind = static_cast<int>(rng.Uniform(3));
+    const std::string attr = "a" + std::to_string(rng.Uniform(8));
+    const std::string value = "v" + std::to_string(rng.Uniform(1000));
+    ++ts;
+    if (kind == 0) {
+      AttrMap row{{attr, value}};
+      ASSERT_TRUE(store.Write("k", row, ts).ok());
+      latest = row;
+    } else if (kind == 1) {
+      ASSERT_TRUE(store.MergeWrite("k", AttrMap{{attr, value}}, ts).ok());
+      latest[attr] = value;
+    } else {
+      ASSERT_TRUE(store
+                      .MergeWrite("k", AttrMap{{attr, value}, {"x", value}},
+                                  ts)
+                      .ok());
+      latest[attr] = value;
+      latest["x"] = value;
+    }
+    model[ts] = latest;
+    // Probe a random historical snapshot against the reference model.
+    const Timestamp probe = 1 + static_cast<Timestamp>(rng.Uniform(ts));
+    Result<RowVersion> row = store.Read("k", probe);
+    ASSERT_TRUE(row.ok());
+    auto it = model.upper_bound(probe);
+    ASSERT_NE(it, model.begin());
+    --it;
+    EXPECT_EQ(*row->attributes, it->second) << "probe ts=" << probe;
+  }
+}
+
+// ----------------------------------------------------- GC vs. snapshots
 
 TEST(StoreTest, TruncateKeepsSnapshotAtWatermark) {
   MultiVersionStore store;
@@ -144,6 +249,45 @@ TEST(StoreTest, TruncateKeepsSnapshotAtWatermark) {
   EXPECT_EQ(*store.ReadAttr("k", "a", 7), "7");
   EXPECT_EQ(*store.ReadAttr("k", "a", 8), "8");
   EXPECT_TRUE(store.Read("k", 6).status().IsNotFound());
+}
+
+TEST(StoreTest, TruncateWatermarkBetweenVersionsKeepsNewestBelow) {
+  MultiVersionStore store;
+  for (Timestamp ts : {2, 4, 6, 8}) {
+    ASSERT_TRUE(store.Write("k", AttrMap{{"a", std::to_string(ts)}}, ts).ok());
+  }
+  // Watermark 5 falls between versions 4 and 6: version 4 is the newest
+  // version <= watermark and must stay readable; only 2 is collectable.
+  EXPECT_EQ(store.TruncateVersions("k", 5), 1u);
+  EXPECT_EQ(*store.ReadAttr("k", "a", 5), "4");
+  EXPECT_EQ(*store.ReadAttr("k", "a", 4), "4");
+  EXPECT_TRUE(store.Read("k", 3).status().IsNotFound());
+  EXPECT_EQ(store.VersionCount("k"), 3u);
+}
+
+TEST(StoreTest, TruncateBelowOldestVersionRemovesNothing) {
+  MultiVersionStore store;
+  ASSERT_TRUE(store.Write("k", AttrMap{{"a", "1"}}, 10).ok());
+  EXPECT_EQ(store.TruncateVersions("k", 5), 0u);
+  EXPECT_EQ(store.VersionCount("k"), 1u);
+}
+
+TEST(StoreTest, HeldSnapshotSurvivesTruncation) {
+  // GC drops chain entries, but a snapshot already handed out shares the
+  // attribute map and must stay readable and unchanged (D5 invariant).
+  MultiVersionStore store;
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE(store.Write("k", AttrMap{{"a", std::to_string(ts)}}, ts).ok());
+  }
+  Result<RowVersion> held = store.Read("k", 3);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(store.TruncateVersions("k", 8), 7u);
+  EXPECT_EQ(held->timestamp, 3);
+  EXPECT_EQ(held->attributes->at("a"), "3");
+  // The store itself no longer serves the collected version...
+  EXPECT_TRUE(store.Read("k", 3).status().IsNotFound());
+  // ...but the surviving watermark version is intact.
+  EXPECT_EQ(*store.ReadAttr("k", "a", 8), "8");
 }
 
 TEST(StoreTest, TruncateAllCoversEveryKey) {

@@ -45,6 +45,20 @@ TEST(BallotTest, DecodeEmptyIsNull) {
   EXPECT_TRUE(Ballot::Decode("").IsNull());
 }
 
+TEST(BallotTest, NullBallotEncodesEmpty) {
+  // The store's missing-attribute convention: unset acceptor state reads as
+  // "", so the null ballot must encode to exactly that.
+  EXPECT_EQ(kNullBallot.Encode(), "");
+}
+
+TEST(BallotTest, ToStringIsHumanReadable) {
+  // ToString is the log/debug form, distinct from the binary Encode().
+  EXPECT_EQ((Ballot{3, 1}).ToString(), "3.1");
+  EXPECT_EQ((Ballot{0, 2}).ToString(), "0.2");
+  EXPECT_EQ(kNullBallot.ToString(), "null");
+  EXPECT_NE((Ballot{300, 5}).ToString(), (Ballot{300, 5}).Encode());
+}
+
 TEST(BallotTest, NextBallotExceedsSeen) {
   EXPECT_EQ(NextBallot(kNullBallot, 2), (Ballot{1, 2}));
   EXPECT_EQ(NextBallot(Ballot{5, 0}, 2), (Ballot{6, 2}));

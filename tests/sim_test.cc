@@ -77,6 +77,76 @@ TEST(SimulatorTest, CancelIsSelective) {
   EXPECT_EQ(ran, 101);
 }
 
+TEST(SimulatorTest, CancelAfterExecuteIsExactNoOp) {
+  // Regression: the old implementation tracked cancellations in a tombstone
+  // set sized against the queue, so cancelling an id that had already
+  // executed skewed (and could underflow) PendingEvents().
+  Simulator sim;
+  int ran = 0;
+  const EventId first = sim.ScheduleAt(1, [&] { ++ran; });
+  sim.ScheduleAt(2, [&] { ++ran; });
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  ASSERT_TRUE(sim.Step());  // runs `first`
+  sim.Cancel(first);        // stale: the event already executed
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  ASSERT_TRUE(sim.Step());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.EventsExecuted(), 2u);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  sim.ScheduleAt(11, [] {});
+  sim.Cancel(id);
+  sim.Cancel(id);  // second cancel of the same id must not double-decrement
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, PendingEventsExactUnderInterleavedCancelAndStep) {
+  // Interleave Cancel and Step every way the accounting could drift:
+  // cancel-before-run, cancel-after-run, double cancel, cancel of an
+  // invalid id — PendingEvents() must stay exact throughout.
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(sim.ScheduleAt(i, [] {}));
+  EXPECT_EQ(sim.PendingEvents(), 8u);
+  sim.Cancel(ids[0]);
+  sim.Cancel(ids[3]);
+  EXPECT_EQ(sim.PendingEvents(), 6u);
+  ASSERT_TRUE(sim.Step());  // runs event 1 (0 was cancelled)
+  EXPECT_EQ(sim.PendingEvents(), 5u);
+  sim.Cancel(ids[1]);  // already executed: no-op
+  sim.Cancel(ids[0]);  // already cancelled-and-collected: no-op
+  sim.Cancel(kInvalidEventId);
+  EXPECT_EQ(sim.PendingEvents(), 5u);
+  ASSERT_TRUE(sim.Step());  // runs event 2
+  sim.Cancel(ids[7]);
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  EXPECT_EQ(sim.Run(), 3u);  // events 4, 5, 6
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.EventsExecuted(), 5u);
+}
+
+TEST(SimulatorTest, StaleIdDoesNotCancelRecycledSlot) {
+  // After an event runs, its pool slot may be recycled for a new event; a
+  // stale cancel with the old id must not kill the new occupant.
+  Simulator sim;
+  const EventId old_id = sim.ScheduleAt(1, [] {});
+  sim.Run();  // slot is freed and recycled below
+  bool ran = false;
+  sim.ScheduleAt(2, [&] { ran = true; });
+  sim.Cancel(old_id);  // stale generation: must be a no-op
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtDeadline) {
   Simulator sim;
   std::vector<TimeMicros> times;

@@ -266,7 +266,7 @@ TEST(InterleavingTest, SimultaneousWriteOnlyTxnsCombineIntoOnePosition) {
 TEST(InterleavingTest, ManySimultaneousClientsAllCommitViaCp) {
   ClusterConfig config = TestConfig("VVVOC", 5);
   Cluster cluster(config);
-  std::map<std::string, std::string> row;
+  kvstore::AttributeMap row;
   for (int i = 0; i < 8; ++i) row["a" + std::to_string(i)] = "0";
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, row).ok());
   ClientOptions options;

@@ -2,6 +2,7 @@
 // the R1 guard, apply-to-data-rows, snapshot reads with provenance.
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
 #include "kvstore/store.h"
 #include "wal/log.h"
 #include "wal/log_entry.h"
@@ -72,6 +73,18 @@ TEST(LogEntryTest, FingerprintMatchesContent) {
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
   b.txns[0].writes[0].value = "w";
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(LogEntryTest, StreamedFingerprintEqualsFingerprintOfEncoding) {
+  // Fingerprint() streams the fields through a chunking-invariant hasher;
+  // it must equal hashing the materialized encoding byte-for-byte.
+  LogEntry entry;
+  entry.winner_dc = 2;
+  entry.txns.push_back(
+      MakeTxn(MakeTxnId(1, 7), 3, {"a1", "a2"}, {{"a3", "v3"}, {"a4", "v4"}}));
+  entry.txns.push_back(MakeTxn(MakeTxnId(2, 9), 3, {}, {{"a5", ""}}));
+  EXPECT_EQ(entry.Fingerprint(), Fingerprint64(entry.Encode()));
+  EXPECT_EQ(LogEntry{}.Fingerprint(), Fingerprint64(LogEntry{}.Encode()));
 }
 
 TEST(LogEntryTest, ContainsTxn) {
