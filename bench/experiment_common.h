@@ -112,6 +112,14 @@ class PerfReporter {
   workload::RunStats Run(const std::string& label,
                          const core::ClusterConfig& cluster,
                          const workload::RunnerConfig& config) {
+    core::Cluster built(cluster);
+    return Run(label, &built, config);
+  }
+
+  /// Variant for experiments that prepare the cluster first (e.g. arm a
+  /// fault plan with Cluster::ApplyFaultPlan before the workload starts).
+  workload::RunStats Run(const std::string& label, core::Cluster* cluster,
+                         const workload::RunnerConfig& config) {
     const auto start = std::chrono::steady_clock::now();
     workload::RunStats stats = workload::RunExperiment(cluster, config);
     const double seconds =

@@ -1,0 +1,128 @@
+// The missing availability experiment (paper §1/§5 headline claim): a
+// Paxos-replicated log keeps committing transactions while an entire
+// datacenter is down, because any majority of replicas can decide log
+// positions — where a 2PC-style blocking commit would stall. This bench
+// kills one datacenter mid-run and reports the commit rate per 10-second
+// window before / during / after the outage for basic Paxos and Paxos-CP.
+//
+// Expected shape: both protocols stay available (no window of zero commits
+// for Paxos-CP), but during the outage every commit phase waits out the
+// 2-second RPC timeout of the dead replica, so transactions pile up and
+// contention spikes; basic Paxos — which aborts every conflict loser —
+// degrades far more than Paxos-CP, which keeps combining and promoting the
+// pile-up into committed log entries. After recovery both return to their
+// baseline, and the recovered datacenter catches up via learning instances.
+//
+//   ./build/bench/fig_availability [--json <path>]
+#include "core/checker.h"
+#include "experiment_common.h"
+#include "fault/fault_plan.h"
+
+using namespace paxoscp;
+
+namespace {
+
+constexpr TimeMicros kWindow = 10 * kSecond;
+constexpr TimeMicros kOutageStart = 40 * kSecond;
+constexpr TimeMicros kOutageEnd = 80 * kSecond;
+constexpr DcId kVictim = 2;  // not the clients' home (dc 0)
+
+const char* Phase(TimeMicros window_start) {
+  if (window_start < kOutageStart) return "up";
+  if (window_start < kOutageEnd) return "DOWN";
+  return "recovered";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PerfReporter perf(&argc, argv, "fig_availability");
+  workload::PrintExperimentHeader(
+      "Availability - commit rate across a single-datacenter outage "
+      "(VVV, dc2 down 40s-80s, 500 txns)",
+      "majority commit keeps both protocols live through the outage; "
+      "basic's commit rate collapses under the pile-up, Paxos-CP keeps "
+      "committing (paper SS1/SS5)");
+
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {kOutageStart, fault::FaultKind::kDatacenterDown, kVictim, kNoDc, 0});
+  plan.events.push_back(
+      {kOutageEnd, fault::FaultKind::kDatacenterUp, kVictim, kNoDc, 0});
+
+  std::printf("fault plan:\n%s\n", plan.ToString().c_str());
+
+  std::map<txn::Protocol, workload::RunStats> stats;
+  for (txn::Protocol protocol :
+       {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
+    core::Cluster cluster(bench::PaperCluster("VVV"));
+    cluster.ApplyFaultPlan(plan);
+    workload::RunnerConfig config = bench::PaperWorkload(protocol);
+    config.availability_window = kWindow;
+    stats[protocol] =
+        perf.Run(std::string("avail/") + txn::ProtocolName(protocol),
+                 &cluster, config);
+  }
+  const workload::RunStats& basic = stats[txn::Protocol::kBasicPaxos];
+  const workload::RunStats& cp = stats[txn::Protocol::kPaxosCP];
+
+  std::vector<std::vector<std::string>> rows;
+  const size_t windows = std::max(basic.windows.size(), cp.windows.size());
+  workload::WindowCounts basic_outage, cp_outage;
+  bool cp_committed_every_outage_window = true;
+  for (size_t i = 0; i < windows; ++i) {
+    const TimeMicros window_start = static_cast<TimeMicros>(i) * kWindow;
+    workload::WindowCounts b, c;
+    if (i < basic.windows.size()) b = basic.windows[i];
+    if (i < cp.windows.size()) c = cp.windows[i];
+    // "Commits" everywhere below means committed + read_only — the same
+    // definition WindowCounts::CommitRate() uses, so columns stay
+    // internally consistent (read-only commits are ~1/1024 of this
+    // workload, but a commit is a commit).
+    if (Phase(window_start)[0] == 'D') {
+      basic_outage.attempted += b.attempted;
+      basic_outage.committed += b.committed + b.read_only;
+      cp_outage.attempted += c.attempted;
+      cp_outage.committed += c.committed + c.read_only;
+      if (c.committed + c.read_only == 0) {
+        cp_committed_every_outage_window = false;
+      }
+    }
+    rows.push_back({std::to_string(window_start / kSecond) + "s",
+                    Phase(window_start),
+                    std::to_string(b.committed + b.read_only) + "/" +
+                        std::to_string(b.attempted),
+                    workload::FormatDouble(100 * b.CommitRate(), 0) + "%",
+                    std::to_string(c.committed + c.read_only) + "/" +
+                        std::to_string(c.attempted),
+                    workload::FormatDouble(100 * c.CommitRate(), 0) + "%"});
+  }
+  workload::PrintTable({"window", "dc2", "basic commits", "basic rate",
+                        "cp commits", "cp rate"},
+                       rows);
+
+  std::printf("\n");
+  workload::PrintTable(
+      bench::ResultHeaders("phase"),
+      {bench::ResultRow("whole run", txn::Protocol::kBasicPaxos, basic),
+       bench::ResultRow("whole run", txn::Protocol::kPaxosCP, cp)});
+
+  // The headline claim is per-window: no outage window may pass without a
+  // Paxos-CP commit (a single straggler commit at the outage's edge must
+  // not keep CI green).
+  const bool cp_available_throughout =
+      cp_outage.committed > 0 && cp_committed_every_outage_window;
+  const bool cp_beats_basic_during_outage =
+      cp_outage.committed > basic_outage.committed;
+  std::printf(
+      "\nduring outage: basic committed %d/%d, Paxos-CP committed %d/%d "
+      "-> %s\n",
+      basic_outage.committed, basic_outage.attempted, cp_outage.committed,
+      cp_outage.attempted,
+      cp_available_throughout && cp_beats_basic_during_outage
+          ? "Paxos-CP stays available and ahead (paper SS5 shape)"
+          : "UNEXPECTED: availability shape not reproduced");
+  const bool ok = basic.check.ok && cp.check.ok && cp_available_throughout &&
+                  cp_beats_basic_during_outage;
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/cluster.h"
 
+#include "fault/injector.h"
+
 namespace paxoscp::core {
 
 Cluster::Cluster(ClusterConfig config)
@@ -16,16 +18,35 @@ Cluster::Cluster(ClusterConfig config)
   services_.reserve(d);
   for (DcId dc = 0; dc < d; ++dc) {
     stores_.push_back(std::make_unique<kvstore::MultiVersionStore>());
-    services_.push_back(std::make_unique<txn::TransactionService>(
-        dc, network_.get(), stores_.back().get(), config_.service_times,
-        NextSeed()));
-    txn::TransactionService* service = services_.back().get();
-    network_->RegisterEndpoint(
-        dc, [service](DcId from, const std::any* request) {
-          return service->Handle(from, request);
-        });
+    services_.emplace_back();
+    RestartService(dc);
   }
 }
+
+void Cluster::RestartService(DcId dc) {
+  if (services_[dc] != nullptr) {
+    retired_services_.push_back(std::move(services_[dc]));
+  }
+  services_[dc] = std::make_unique<txn::TransactionService>(
+      dc, network_.get(), stores_[dc].get(), config_.service_times,
+      NextSeed());
+  txn::TransactionService* service = services_[dc].get();
+  network_->RegisterEndpoint(
+      dc, [service](DcId from, const std::any* request) {
+        return service->Handle(from, request);
+      });
+}
+
+fault::FaultInjector* Cluster::ApplyFaultPlan(const fault::FaultPlan& plan) {
+  if (injector_ == nullptr) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        network_.get(), [this](DcId dc) { RestartService(dc); });
+  }
+  injector_->Arm(plan);
+  return injector_.get();
+}
+
+Cluster::~Cluster() = default;
 
 uint64_t Cluster::NextSeed() { return seed_rng_.Next(); }
 

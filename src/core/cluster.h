@@ -9,17 +9,23 @@
 #include <vector>
 
 #include "core/config.h"
+#include "fault/fault_plan.h"
 #include "kvstore/store.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "txn/client.h"
 #include "txn/service.h"
 
+namespace paxoscp::fault {
+class FaultInjector;
+}
+
 namespace paxoscp::core {
 
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+  ~Cluster();  // out-of-line: FaultInjector is incomplete here
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -51,6 +57,22 @@ class Cluster {
   void SetLinkDown(DcId a, DcId b, bool down) {
     network_->SetLinkDown(a, b, down);
   }
+  void SetLinkOneWayDown(DcId from, DcId to, bool down) {
+    network_->SetLinkOneWayDown(from, to, down);
+  }
+
+  /// Restarts the Transaction Service at `dc`: the replacement serves all
+  /// new requests against the same (durable) key-value store, so it
+  /// recovers the group logs and acceptor state, while requests already in
+  /// flight complete against the retired instance (a restart loses nothing
+  /// but in-flight work — services are stateless, see txn/service.h). Any
+  /// background applier must be re-started by the caller.
+  void RestartService(DcId dc);
+
+  /// Arms `plan` on this cluster's fault injector: every event fires at
+  /// Now() + event.at, service restarts routed through RestartService.
+  /// Returns the injector (owned by the cluster) for inspection.
+  fault::FaultInjector* ApplyFaultPlan(const fault::FaultPlan& plan);
 
   /// Fresh RNG seed derived deterministically from the cluster seed.
   uint64_t NextSeed();
@@ -62,6 +84,10 @@ class Cluster {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<kvstore::MultiVersionStore>> stores_;
   std::vector<std::unique_ptr<txn::TransactionService>> services_;
+  /// Replaced service instances, kept alive because in-flight handler
+  /// coroutines still reference them.
+  std::vector<std::unique_ptr<txn::TransactionService>> retired_services_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<txn::TransactionClient>> clients_;
   uint32_t next_client_uid_ = 1;
 };

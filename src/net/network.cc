@@ -53,6 +53,8 @@ Network::Network(sim::Simulator* sim,
   handlers_.resize(n);
   dc_down_.assign(n, false);
   link_down_.assign(n, std::vector<bool>(n, false));
+  dc_epoch_.assign(n, 0);
+  link_epoch_.assign(n, std::vector<uint64_t>(n, 0));
 }
 
 void Network::RegisterEndpoint(DcId dc, ServiceHandler handler) {
@@ -100,12 +102,14 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
     return promise.GetFuture();
   }
   const TimeMicros request_delay = SampleDelay(from, to);
+  const uint64_t request_epoch = ChannelEpoch(from, to);
   sim_->ScheduleAfter(
-      request_delay, [this, from, to, promise,
+      request_delay, [this, from, to, promise, request_epoch,
                       request = request]() mutable {
-        // Delivery-time check: the destination may have gone down while the
-        // message was in flight.
-        if (dc_down_[to]) {
+        // Delivery-time check: drop if the destination is down, or if it
+        // (or the link traversed) went down at any point while the message
+        // was in flight — a heal before arrival does not resurrect it.
+        if (dc_down_[to] || ChannelEpoch(from, to) != request_epoch) {
           ++messages_dropped_;
           return;
         }
@@ -125,11 +129,13 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
                        return;
                      }
                      const TimeMicros response_delay = SampleDelay(to, from);
+                     const uint64_t response_epoch = ChannelEpoch(to, from);
                      sim_->ScheduleAfter(
                          response_delay,
-                         [this, from, promise,
+                         [this, from, to, promise, response_epoch,
                           response = std::move(response)]() mutable {
-                           if (dc_down_[from]) {
+                           if (dc_down_[from] ||
+                               ChannelEpoch(to, from) != response_epoch) {
                              ++messages_dropped_;
                              return;
                            }
@@ -190,14 +196,20 @@ sim::Future<BroadcastResult> Network::Broadcast(
 
 void Network::SetDatacenterDown(DcId dc, bool down) {
   assert(dc >= 0 && dc < num_datacenters());
+  if (down && !dc_down_[dc]) ++dc_epoch_[dc];
   dc_down_[dc] = down;
 }
 
 void Network::SetLinkDown(DcId a, DcId b, bool down) {
-  assert(a >= 0 && a < num_datacenters());
-  assert(b >= 0 && b < num_datacenters());
-  link_down_[a][b] = down;
-  link_down_[b][a] = down;
+  SetLinkOneWayDown(a, b, down);
+  SetLinkOneWayDown(b, a, down);
+}
+
+void Network::SetLinkOneWayDown(DcId from, DcId to, bool down) {
+  assert(from >= 0 && from < num_datacenters());
+  assert(to >= 0 && to < num_datacenters());
+  if (down && !link_down_[from][to]) ++link_epoch_[from][to];
+  link_down_[from][to] = down;
 }
 
 void Network::ResetStats() {

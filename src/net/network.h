@@ -100,6 +100,15 @@ class Network {
                                          const BroadcastOptions& options);
 
   // -- Fault injection ------------------------------------------------------
+  //
+  // In-flight semantics (docs/ARCHITECTURE.md, design note D6): a message is
+  // lost if its destination datacenter, or the directed link it travels,
+  // goes down at any point between send and delivery — even if the fault
+  // heals before the scheduled arrival (a down->up flap inside one flight
+  // window still loses the message). A message whose *source* goes down
+  // after it left is delivered normally, and responses already delivered to
+  // the caller are never retracted. Implemented with per-destination and
+  // per-directed-link outage epochs captured at send time.
 
   /// Takes a whole datacenter off the network (drops inbound and outbound).
   void SetDatacenterDown(DcId dc, bool down);
@@ -107,6 +116,11 @@ class Network {
 
   /// Severs the (bidirectional) link between two datacenters.
   void SetLinkDown(DcId a, DcId b, bool down);
+
+  /// Severs only the `from` -> `to` direction (asymmetric cut: requests one
+  /// way still flow while the reverse direction is black-holed).
+  void SetLinkOneWayDown(DcId from, DcId to, bool down);
+  bool IsLinkDown(DcId from, DcId to) const { return link_down_[from][to]; }
 
   void set_loss_probability(double p) { options_.loss_probability = p; }
   double loss_probability() const { return options_.loss_probability; }
@@ -126,6 +140,12 @@ class Network {
   TimeMicros SampleDelay(DcId from, DcId to);
   /// True if the message should be dropped (loss, outage, severed link).
   bool ShouldDrop(DcId from, DcId to);
+  /// Outage epoch of the `from` -> `to` channel. Captured when a message is
+  /// sent; if it changed by delivery time the message crossed a fault window
+  /// and is lost (see the in-flight semantics note above).
+  uint64_t ChannelEpoch(DcId from, DcId to) const {
+    return dc_epoch_[to] + link_epoch_[from][to];
+  }
 
   sim::Simulator* sim_;
   std::vector<std::vector<TimeMicros>> rtt_;
@@ -134,6 +154,9 @@ class Network {
   std::vector<ServiceHandler> handlers_;
   std::vector<bool> dc_down_;
   std::vector<std::vector<bool>> link_down_;
+  /// Incremented every time the datacenter / directed link goes down.
+  std::vector<uint64_t> dc_epoch_;
+  std::vector<std::vector<uint64_t>> link_epoch_;
 
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;

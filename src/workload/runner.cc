@@ -16,6 +16,7 @@ struct RunContext {
   RunnerConfig config;
   RunStats stats;
   int threads_done = 0;
+  TimeMicros run_start = 0;
 };
 
 /// Ensures a slot exists in the by-round vectors.
@@ -24,6 +25,19 @@ void EnsureRound(RunStats* stats, int round) {
     stats->commits_by_round.push_back(0);
     stats->latency_by_round.emplace_back();
   }
+}
+
+/// Availability window covering `started_at`, or nullptr when windowed
+/// accounting is off.
+WindowCounts* WindowFor(RunContext* ctx, TimeMicros started_at) {
+  const TimeMicros width = ctx->config.availability_window;
+  if (width <= 0) return nullptr;
+  const size_t index =
+      static_cast<size_t>((started_at - ctx->run_start) / width);
+  if (ctx->stats.windows.size() <= index) {
+    ctx->stats.windows.resize(index + 1);
+  }
+  return &ctx->stats.windows[index];
 }
 
 sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
@@ -35,10 +49,13 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
 
   ++stats.attempted;
   ++stats.attempted_by_dc[dc];
+  const TimeMicros started_at = ctx->cluster->simulator()->Now();
+  if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->attempted;
 
   Status begin = co_await client->Begin(group);
   if (!begin.ok()) {
     ++stats.failed;
+    if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
     co_return;
   }
   const TxnId id = client->ActiveTxnId(group);
@@ -51,6 +68,7 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
         // Read could not be served anywhere (e.g. total outage): abandon.
         (void)client->Abort(group);
         ++stats.failed;
+        if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
         core::ClientOutcome outcome;
         outcome.id = id;
         outcome.committed = false;
@@ -72,6 +90,18 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
   outcome.unknown = !result.committed && !result.status.IsAborted();
   stats.outcomes.push_back(outcome);
 
+  if (WindowCounts* w = WindowFor(ctx, started_at)) {
+    if (result.read_only) {
+      ++w->read_only;
+    } else if (result.committed) {
+      ++w->committed;
+    } else if (result.status.IsAborted()) {
+      ++w->aborted;
+    } else {
+      ++w->unavailable;
+    }
+  }
+
   if (result.read_only) {
     ++stats.read_only;
     co_return;
@@ -91,6 +121,35 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
     stats.latency_aborted.Record(result.latency);
   } else {
     ++stats.failed;
+  }
+}
+
+/// Post-run recovery quiesce (paper §4.1's learning obligation): a value
+/// can be decided — a majority accepted it, the client reported commit —
+/// while every fire-and-forget apply message was lost to an outage, leaving
+/// the entry in no replica's log. The hole can even sit *below* a replica's
+/// frontier: a Paxos-CP contender that saw the decision promotes past it
+/// and applies the next position, while the decided entry itself reaches no
+/// log. Each service therefore learns every missing position from 1 through
+/// its frontier and then forward until it hits a genuinely undecided one,
+/// materializing every decided entry so the (L1) check compares client
+/// outcomes against the history a recovered system would actually serve.
+sim::Task RecoverDecidedTail(RunContext* ctx) {
+  core::Cluster* cluster = ctx->cluster;
+  const std::string& group = ctx->config.workload.group;
+  for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
+    txn::TransactionService* service = cluster->service(dc);
+    for (LogPos pos = 1;; ++pos) {
+      if (service->GroupLog(group)->HasEntry(pos)) continue;
+      Status learned = co_await service->LearnEntry(group, pos);
+      if (learned.ok()) continue;
+      if (pos > service->GroupLog(group)->MaxDecided()) {
+        break;  // undecided tail (or unhealed partition)
+      }
+      // A hole below the frontier should always be learnable once the
+      // network heals; if it is not, keep going and let the checker report
+      // the gap honestly.
+    }
   }
 }
 
@@ -150,6 +209,8 @@ RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
   int remainder = config.total_txns % config.num_threads;
   cluster->network()->ResetStats();
   const TimeMicros start = cluster->simulator()->Now();
+  ctx->run_start = start;
+  ctx->stats.window_width = config.availability_window;
 
   for (int t = 0; t < config.num_threads; ++t) {
     const int txns = per_thread + (t < remainder ? 1 : 0);
@@ -167,6 +228,8 @@ RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
           : static_cast<double>(stats.messages_sent) / stats.attempted;
 
   if (config.check_invariants) {
+    RecoverDecidedTail(ctx.get());
+    cluster->RunToCompletion();
     core::Checker checker(cluster);
     stats.check = checker.CheckAll(config.workload.group, stats.outcomes);
     stats.combined_entries = stats.check.combined_entries;

@@ -38,6 +38,27 @@ struct RunnerConfig {
   /// Run the full invariant checker after the workload (on by default; the
   /// serializability check is part of every experiment in this repo).
   bool check_invariants = true;
+  /// When > 0, bucket per-transaction outcomes into fixed windows of this
+  /// width (virtual time since the run started, keyed by each transaction's
+  /// start time) so availability-over-time is observable — the accounting
+  /// behind bench/fig_availability and the chaos harness.
+  TimeMicros availability_window = 0;
+};
+
+/// Outcome counts for one availability window ([i*w, (i+1)*w) since run
+/// start). attempted = committed + read_only + aborted + unavailable.
+struct WindowCounts {
+  int attempted = 0;
+  int committed = 0;    // read/write commits
+  int read_only = 0;    // read-only commits (no log entry)
+  int aborted = 0;      // lost to a conflicting transaction
+  int unavailable = 0;  // protocol could not complete (outage / no quorum)
+
+  double CommitRate() const {
+    return attempted == 0
+               ? 0
+               : static_cast<double>(committed + read_only) / attempted;
+  }
 };
 
 struct RunStats {
@@ -69,6 +90,12 @@ struct RunStats {
   std::map<DcId, int> attempted_by_dc;
   std::map<DcId, int> committed_by_dc;
   std::map<DcId, Histogram> latency_by_dc;
+
+  /// Availability over time (populated when RunnerConfig::
+  /// availability_window > 0; window i covers [i*w, (i+1)*w) of virtual
+  /// time since the run began, keyed by transaction start).
+  TimeMicros window_width = 0;
+  std::vector<WindowCounts> windows;
 
   std::vector<core::ClientOutcome> outcomes;
   core::CheckReport check;

@@ -1,0 +1,226 @@
+// Chaos / model-checking harness: sweeps many seeded random fault plans
+// (datacenter outages, link partitions incl. one-way cuts and bisections,
+// loss bursts, service restarts) over real workload runs, and requires the
+// full invariant checker (R1, L1-L3, MVSG acyclicity) to pass on every
+// explored schedule. Serializability must survive every fault schedule the
+// envelope can draw; availability may legitimately dip (that is what the
+// unknown/unavailable accounting is for).
+//
+// Every run is a pure function of its seed: the seed derives the cluster
+// shape, the cluster seed, the fault plan, the protocol, and the workload
+// seed, so any failure replays bit-identically.
+//
+// Environment knobs (set by ctest; see CMakeLists.txt):
+//   PAXOSCP_CHAOS_SEEDS      number of (seed, plan) runs     (default 25)
+//   PAXOSCP_CHAOS_SEED_BASE  first seed of the sweep         (default 1000)
+//   PAXOSCP_CHAOS_REPLAY     replay exactly this seed, verbosely
+//
+// On any violation the harness writes chaos_failure_seed<seed>.txt (seed,
+// cluster, protocol, fault plan, checker report) into the working directory
+// — CI uploads these as artifacts — and the failure message names the
+// replay command.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "workload/runner.h"
+
+namespace paxoscp {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+struct ChaosResult {
+  uint64_t seed = 0;
+  std::string cluster_code;
+  txn::Protocol protocol = txn::Protocol::kPaxosCP;
+  fault::FaultPlan plan;
+  workload::RunStats stats;
+  int unknown_in_log = 0;   // client never learned; txn decided anyway
+  int unknown_absent = 0;   // client never learned; txn never decided
+
+  bool ok() const { return stats.check.ok && stats.all_threads_finished; }
+
+  std::string Describe() const {
+    std::string out = "seed=" + std::to_string(seed) + " cluster=" +
+                      cluster_code + " protocol=" +
+                      txn::ProtocolName(protocol) + "\nfault plan:\n" +
+                      (plan.events.empty() ? std::string("  (none)\n")
+                                           : plan.ToString()) +
+                      "checker: " + stats.check.ToString() + "\n";
+    return out;
+  }
+};
+
+/// One chaos run, a pure function of (seed, envelope shaping,
+/// max_rounds_per_position). The default round cap means clients outlast
+/// every fault episode; a small cap models impatient/crashing clients that
+/// give up mid-commit with an unknown outcome.
+ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
+                     int max_rounds_per_position = 32) {
+  Rng rng(seed ^ 0xc4a05f0dULL);
+  ChaosResult result;
+  result.seed = seed;
+
+  static const char* kCodes[] = {"VVV", "VVVO", "VVVOC"};
+  result.cluster_code = kCodes[rng.Uniform(3)];
+  core::ClusterConfig config =
+      *core::ClusterConfig::FromCode(result.cluster_code);
+  config.seed = rng.Next();
+  core::Cluster cluster(config);
+
+  fault::PlanEnvelope envelope;
+  if (shape != nullptr) envelope = *shape;
+  envelope.num_datacenters = config.num_datacenters();
+  fault::RandomPlanGenerator generator(envelope, rng.Next());
+  result.plan = generator.Generate();
+  cluster.ApplyFaultPlan(result.plan);
+
+  result.protocol =
+      (seed % 2 == 0) ? txn::Protocol::kBasicPaxos : txn::Protocol::kPaxosCP;
+  workload::RunnerConfig runner;
+  runner.workload.num_attributes = 40;
+  runner.total_txns = 24;
+  runner.num_threads = 3;
+  runner.stagger = 200 * kMillisecond;
+  runner.target_rate_tps = 1.0;
+  runner.client.protocol = result.protocol;
+  runner.client.max_rounds_per_position = max_rounds_per_position;
+  runner.seed = rng.Next();
+  runner.availability_window = 2 * kSecond;  // exercise window accounting
+  result.stats = workload::RunExperiment(&cluster, runner);
+
+  // Classify unknown outcomes (crashed/timed-out clients): the checker
+  // accepts either fate; the sweep additionally proves both fates are
+  // actually reached.
+  std::map<LogPos, wal::LogEntry> global_log;
+  core::Checker checker(&cluster);
+  (void)checker.CheckReplication(runner.workload.group, &global_log);
+  std::set<TxnId> in_log;
+  for (const auto& [pos, entry] : global_log) {
+    for (const wal::TxnRecord& t : entry.txns) in_log.insert(t.id);
+  }
+  for (const core::ClientOutcome& outcome : result.stats.outcomes) {
+    if (!outcome.unknown) continue;
+    if (in_log.count(outcome.id) > 0) {
+      ++result.unknown_in_log;
+    } else {
+      ++result.unknown_absent;
+    }
+  }
+  return result;
+}
+
+void WriteFailureArtifact(const ChaosResult& result) {
+  const std::string path =
+      "chaos_failure_seed" + std::to_string(result.seed) + ".txt";
+  std::ofstream f(path);
+  f << result.Describe();
+  f << "replay: PAXOSCP_CHAOS_REPLAY=" << result.seed << " ./chaos_test\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+TEST(ChaosSweepTest, RandomFaultPlansPreserveSerializability) {
+  const uint64_t replay = EnvOr("PAXOSCP_CHAOS_REPLAY", 0);
+  const uint64_t base = EnvOr("PAXOSCP_CHAOS_SEED_BASE", 1000);
+  const uint64_t count = replay != 0 ? 1 : EnvOr("PAXOSCP_CHAOS_SEEDS", 25);
+
+  int total_committed = 0, total_unavailable = 0, plans_with_faults = 0;
+  int unknown_in_log = 0, unknown_absent = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seed = replay != 0 ? replay : base + i;
+    const ChaosResult result = RunChaos(seed);
+    if (replay != 0) std::printf("%s", result.Describe().c_str());
+    if (!result.ok()) {
+      WriteFailureArtifact(result);
+      ADD_FAILURE() << "chaos run violated invariants\n"
+                    << result.Describe()
+                    << "replay with: PAXOSCP_CHAOS_REPLAY=" << seed
+                    << " ./chaos_test";
+      continue;
+    }
+    total_committed += result.stats.committed + result.stats.read_only;
+    total_unavailable += result.stats.failed;
+    if (!result.plan.events.empty()) ++plans_with_faults;
+    unknown_in_log += result.unknown_in_log;
+    unknown_absent += result.unknown_absent;
+  }
+  // The sweep must actually exercise faults and still make progress.
+  EXPECT_GT(plans_with_faults, 0);
+  EXPECT_GT(total_committed, 0);
+  std::printf(
+      "chaos sweep: %llu runs (seeds %llu..%llu), %d with faults, "
+      "%d commits, %d unavailable, unknown outcomes: %d in log / %d absent\n",
+      static_cast<unsigned long long>(count),
+      static_cast<unsigned long long>(replay != 0 ? replay : base),
+      static_cast<unsigned long long>(replay != 0 ? replay
+                                                  : base + count - 1),
+      plans_with_faults, total_committed, total_unavailable, unknown_in_log,
+      unknown_absent);
+}
+
+TEST(ChaosSweepTest, AnySeedReplaysBitIdentically) {
+  const uint64_t seed = EnvOr("PAXOSCP_CHAOS_SEED_BASE", 1000) + 3;
+  const ChaosResult first = RunChaos(seed);
+  const ChaosResult second = RunChaos(seed);
+  EXPECT_EQ(first.plan.ToString(), second.plan.ToString());
+  EXPECT_EQ(first.cluster_code, second.cluster_code);
+  EXPECT_EQ(first.stats.attempted, second.stats.attempted);
+  EXPECT_EQ(first.stats.committed, second.stats.committed);
+  EXPECT_EQ(first.stats.aborted, second.stats.aborted);
+  EXPECT_EQ(first.stats.failed, second.stats.failed);
+  EXPECT_EQ(first.stats.messages_sent, second.stats.messages_sent);
+  EXPECT_EQ(first.stats.virtual_duration, second.stats.virtual_duration);
+  EXPECT_EQ(first.unknown_in_log, second.unknown_in_log);
+  EXPECT_EQ(first.unknown_absent, second.unknown_absent);
+}
+
+// A crashed/timed-out client's transaction may legitimately land in the log
+// (the cohort decided it, the client just never heard) or vanish. Under a
+// hostile envelope — long response-eating loss bursts and outages — the
+// sweep must reach BOTH fates, or the checker's unknown path is untested.
+TEST(ChaosSweepTest, UnknownOutcomesReachBothFates) {
+  fault::PlanEnvelope hostile;
+  hostile.first_fault = 500 * kMillisecond;
+  hostile.horizon = 10 * kSecond;
+  hostile.min_episodes = 3;
+  hostile.max_episodes = 6;
+  hostile.min_duration = 2 * kSecond;
+  hostile.max_duration = 6 * kSecond;
+  hostile.min_heal_gap = 200 * kMillisecond;
+  hostile.min_loss_burst = 0.6;
+  hostile.max_loss_burst = 0.95;
+
+  int in_log = 0, absent = 0;
+  uint64_t seeds_used = 0;
+  for (uint64_t seed = 50000; seed < 50080; ++seed) {
+    ++seeds_used;
+    // Round cap 2: a client that cannot finish within two prepare rounds
+    // walks away not knowing its fate — the acceptors may have decided it.
+    const ChaosResult result = RunChaos(seed, &hostile, /*max_rounds=*/2);
+    ASSERT_TRUE(result.ok()) << result.Describe();
+    in_log += result.unknown_in_log;
+    absent += result.unknown_absent;
+    if (in_log > 0 && absent > 0) break;  // both fates reached
+  }
+  EXPECT_GT(in_log, 0) << "no unknown-but-decided transaction in "
+                       << seeds_used << " hostile runs";
+  EXPECT_GT(absent, 0) << "no unknown-and-undecided transaction in "
+                       << seeds_used << " hostile runs";
+}
+
+}  // namespace
+}  // namespace paxoscp

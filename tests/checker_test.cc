@@ -167,6 +167,34 @@ TEST(OutcomeCheckerTest, UnknownOutcomeMayGoEitherWay) {
   EXPECT_TRUE(report.ok) << report.ToString();
 }
 
+TEST(OutcomeCheckerTest, UnknownTxnInTwoPositionsStillViolatesL2) {
+  // A crashed client's transaction may appear in the log or not (L1 waived)
+  // — but appearing twice is an L2 violation no matter what the client saw.
+  std::map<LogPos, wal::LogEntry> log;
+  log[1].txns.push_back(Record(MakeTxnId(0, 1), 0, {}, {{"a", "1"}}));
+  log[2].txns.push_back(Record(MakeTxnId(0, 1), 0, {}, {{"a", "1"}}));
+  std::vector<ClientOutcome> outcomes(1);
+  outcomes[0].id = MakeTxnId(0, 1);
+  outcomes[0].unknown = true;
+  CheckReport report;
+  Checker::CheckOutcomes(log, outcomes, &report);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(OutcomeCheckerTest, UnknownOutcomeIgnoresStalePositionClaim) {
+  // A client that timed out mid-commit may carry a stale position guess;
+  // the unknown flag waives the position cross-check along with L1.
+  std::map<LogPos, wal::LogEntry> log;
+  log[1].txns.push_back(Record(MakeTxnId(0, 1), 0, {}, {{"a", "1"}}));
+  std::vector<ClientOutcome> outcomes(1);
+  outcomes[0].id = MakeTxnId(0, 1);
+  outcomes[0].unknown = true;
+  outcomes[0].position = 7;  // wrong — but the client never learned it
+  CheckReport report;
+  Checker::CheckOutcomes(log, outcomes, &report);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
 TEST(OutcomeCheckerTest, TxnInTwoPositionsViolatesL2) {
   std::map<LogPos, wal::LogEntry> log;
   log[1].txns.push_back(Record(MakeTxnId(0, 1), 0, {}, {{"a", "1"}}));

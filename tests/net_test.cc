@@ -219,6 +219,164 @@ TEST_F(NetworkTest, JitterStaysWithinBounds) {
   }
 }
 
+// ---- In-flight outage semantics (ARCHITECTURE.md design note D6) --------
+// Intended semantics, pinned here: a message is lost if its destination (or
+// the directed link it travels) goes down at ANY point during its flight,
+// even if the fault heals before the scheduled delivery; a message whose
+// source dies after it left is still delivered; responses already delivered
+// stand.
+
+TEST_F(NetworkTest, DownUpFlapWithinFlightWindowLosesMessage) {
+  Build(2);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  // One-way delay is kRtt/2 = 5 ms. The destination flaps down at 1 ms and
+  // is back UP at 2 ms — well before the delivery event at 5 ms. The
+  // message crossed an outage window, so it must be lost; a delivery-time
+  // check alone would (wrongly) deliver it.
+  sim_.ScheduleAfter(1 * kMillisecond,
+                     [&] { network_->SetDatacenterDown(1, true); });
+  sim_.ScheduleAfter(2 * kMillisecond,
+                     [&] { network_->SetDatacenterDown(1, false); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.IsTimedOut());
+}
+
+TEST_F(NetworkTest, DownUpDownFlapsWithinOneTimeoutWindow) {
+  Build(2);
+  // dc1 flaps twice inside a single 50 ms RPC timeout: down 1-2 ms, up
+  // 2-3 ms, down 3-4 ms, up from 4 ms.
+  for (TimeMicros t : {1, 3}) {
+    sim_.ScheduleAfter(t * kMillisecond,
+                       [&] { network_->SetDatacenterDown(1, true); });
+    sim_.ScheduleAfter((t + 1) * kMillisecond,
+                       [&] { network_->SetDatacenterDown(1, false); });
+  }
+  // Sent before the first flap, delivery (5 ms) after the last: lost.
+  std::optional<CallResult> flapped;
+  network_->Call(0, 1, std::any(std::string("a")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { flapped = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(flapped.has_value());
+  EXPECT_TRUE(flapped->status.IsTimedOut());
+
+  // Sent after the last recovery, same timeout window: clean round trip.
+  std::optional<CallResult> clean;
+  network_->Call(0, 1, std::any(std::string("b")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { clean = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_TRUE(clean->status.ok()) << clean->status.ToString();
+}
+
+TEST_F(NetworkTest, BroadcastTargetFlappingMidFlightIsLostOthersStand) {
+  Build(3);
+  std::optional<BroadcastResult> result;
+  BroadcastOptions options;
+  options.timeout = 50 * kMillisecond;
+  network_->Broadcast(0, {0, 1, 2}, std::any(std::string("hi")), options)
+      .OnReady([&](BroadcastResult&& r) { result = std::move(r); });
+  // dc2 goes down while the broadcast's requests are in flight and is back
+  // before their arrival; dc0/dc1 deliveries already under way are
+  // unaffected and their responses stand.
+  sim_.ScheduleAfter(1 * kMillisecond,
+                     [&] { network_->SetDatacenterDown(2, true); });
+  sim_.ScheduleAfter(2 * kMillisecond,
+                     [&] { network_->SetDatacenterDown(2, false); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[0].status.ok());
+  EXPECT_TRUE((*result)[1].status.ok());
+  EXPECT_TRUE((*result)[2].status.IsTimedOut());
+}
+
+TEST_F(NetworkTest, ResponseInFlightFromDownedSourceStillArrives) {
+  Build(2);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  // The response leaves dc1 at ~5 ms (instant handler); dc1 dies at 7 ms
+  // while its response is in flight. The message already left the downed
+  // datacenter, so it is delivered.
+  sim_.ScheduleAfter(7 * kMillisecond,
+                     [&] { network_->SetDatacenterDown(1, true); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(std::any_cast<std::string>(result->response), "1:x");
+}
+
+// ---- Asymmetric (one-way) link cuts --------------------------------------
+
+TEST_F(NetworkTest, OneWayLinkCutBlocksOnlyThatDirection) {
+  Build(3);
+  int handled_at_0 = 0, handled_at_1 = 0;
+  network_->RegisterEndpoint(
+      0, [&](DcId, const std::any*) -> sim::Coro<std::any> {
+        ++handled_at_0;
+        co_return std::any(std::string("pong0"));
+      });
+  network_->RegisterEndpoint(
+      1, [&](DcId, const std::any*) -> sim::Coro<std::any> {
+        ++handled_at_1;
+        co_return std::any(std::string("pong1"));
+      });
+  network_->SetLinkOneWayDown(0, 1, true);
+
+  // 0 -> 1: the request itself travels the cut direction, never arrives.
+  std::optional<CallResult> forward;
+  network_->Call(0, 1, std::any(std::string("x")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { forward = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(forward->status.IsTimedOut());
+  EXPECT_EQ(handled_at_1, 0);
+
+  // 1 -> 0: the request arrives and is served; only the response (which
+  // travels 0 -> 1) is black-holed. The caller sees the same timeout but
+  // the side effect happened — the asymmetry 2PC/Paxos must tolerate.
+  std::optional<CallResult> reverse;
+  network_->Call(1, 0, std::any(std::string("y")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { reverse = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(reverse->status.IsTimedOut());
+  EXPECT_EQ(handled_at_0, 1);
+
+  // Unrelated pairs are untouched.
+  std::optional<CallResult> other;
+  network_->Call(2, 1, std::any(std::string("z")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { other = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(other->status.ok());
+
+  // Healing restores the direction.
+  network_->SetLinkOneWayDown(0, 1, false);
+  std::optional<CallResult> healed;
+  network_->Call(0, 1, std::any(std::string("w")), 30 * kMillisecond)
+      .OnReady([&](CallResult&& r) { healed = std::move(r); });
+  sim_.Run();
+  EXPECT_TRUE(healed->status.ok());
+  EXPECT_EQ(handled_at_1, 2);
+}
+
+TEST_F(NetworkTest, OneWayCutMidFlightDropsTheResponse) {
+  Build(2);
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 50 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  // Cut the response direction (1 -> 0) at 7 ms, while the response is in
+  // flight (left dc1 at ~5 ms, due at ~10 ms); heal immediately after. The
+  // in-flight response is lost even though the link is up at delivery time.
+  sim_.ScheduleAfter(7 * kMillisecond,
+                     [&] { network_->SetLinkOneWayDown(1, 0, true); });
+  sim_.ScheduleAfter(8 * kMillisecond,
+                     [&] { network_->SetLinkOneWayDown(1, 0, false); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.IsTimedOut());
+}
+
 TEST_F(NetworkTest, RecoveredDatacenterServesAgain) {
   Build(2);
   network_->SetDatacenterDown(1, true);
