@@ -75,10 +75,11 @@ int main(int argc, char** argv) {
     workload::WindowCounts b, c;
     if (i < basic.windows.size()) b = basic.windows[i];
     if (i < cp.windows.size()) c = cp.windows[i];
-    // "Commits" everywhere below means committed + read_only — the same
-    // definition WindowCounts::CommitRate() uses, so columns stay
-    // internally consistent (read-only commits are ~1/1024 of this
-    // workload, but a commit is a commit).
+    // "Commits" everywhere below means committed + read_only — the
+    // repo-wide CommitRate() definition (shared by WindowCounts and
+    // RunStats since the unification), so columns stay internally
+    // consistent (read-only commits are ~1/1024 of this workload, but a
+    // commit is a commit).
     if (Phase(window_start)[0] == 'D') {
       basic_outage.attempted += b.attempted;
       basic_outage.committed += b.committed + b.read_only;

@@ -18,7 +18,7 @@
 #include "paxos/ballot.h"
 #include "paxos/value_selection.h"
 #include "sim/coro.h"
-#include "txn/client.h"
+#include "txn/txn.h"
 #include "wal/log_entry.h"
 #include "workload/generator.h"
 
@@ -257,12 +257,12 @@ BENCHMARK(BM_SimulatorScheduleCancelChurn);
 
 // ----------------------------------------------------- end-to-end commit
 
-sim::Task CommitOne(txn::TransactionClient* client, std::string value,
-                    bool* done) {
-  (void)co_await client->Begin("g");
-  (void)co_await client->Read("g", "r", "a0");
-  (void)client->Write("g", "r", "a1", value);
-  (void)co_await client->Commit("g");
+sim::Task CommitOne(txn::Session* session, std::string value, bool* done) {
+  txn::Txn txn = co_await session->Begin("g");
+  if (!txn.active()) co_return;
+  (void)co_await txn.Read("r", "a0");
+  (void)txn.Write("r", "a1", value);
+  (void)co_await txn.Commit();
   *done = true;
 }
 
@@ -275,12 +275,11 @@ void BM_EndToEndCommit(benchmark::State& state) {
     config.seed = 5;
     core::Cluster cluster(config);
     (void)cluster.LoadInitialRow("g", "r", {{"a0", "x"}, {"a1", "y"}});
-    txn::TransactionClient* client =
-        cluster.CreateClient(0, txn::ClientOptions{});
+    txn::Session session = cluster.CreateSession(0);
     bool done = false;
     state.ResumeTiming();
 
-    CommitOne(client, "value", &done);
+    CommitOne(&session, "value", &done);
     cluster.RunToCompletion();
     if (!done) state.SkipWithError("commit did not complete");
   }

@@ -5,75 +5,89 @@
 //
 // Two clients repeatedly update *disjoint* attributes of the same entity
 // group; a third reads an attribute the first one writes, creating real
-// conflicts only for it.
+// conflicts only for it. No retries here — the point is the raw
+// per-attempt outcome taxonomy.
 //
 //   ./build/examples/contention_demo
 #include <cstdio>
 
-#include "core/cluster.h"
+#include "core/db.h"
 #include "sim/coro.h"
-#include "txn/client.h"
 
 using namespace paxoscp;
 
 namespace {
 
+constexpr char kGroup[] = "g";
+constexpr char kRow[] = "r";
+
 struct Tally {
   int committed = 0;
   int aborted = 0;
+  int total() const { return committed + aborted; }
 };
 
-sim::Task DisjointWriter(core::Cluster* cluster,
-                         txn::TransactionClient* client, std::string attr,
+sim::Task DisjointWriter(Db* db, txn::Session* session, std::string attr,
                          Tally* tally) {
-  sim::Simulator* sim = cluster->simulator();
+  sim::Simulator* sim = db->simulator();
   for (int i = 0; i < 20; ++i) {
     co_await sim::SleepFor(sim, 150 * kMillisecond);
-    if (!(co_await client->Begin("g")).ok()) continue;
+    txn::Txn txn = co_await session->Begin(kGroup);
+    if (!txn.active()) continue;
     // Read our own attribute (no cross-client read-write conflict).
-    (void)co_await client->Read("g", "r", attr);
-    (void)client->Write("g", "r", attr, std::to_string(i));
-    txn::CommitResult commit = co_await client->Commit("g");
+    (void)co_await txn.Read(kRow, attr);
+    (void)txn.Write(kRow, attr, std::to_string(i));
+    txn::CommitResult commit = co_await txn.Commit();
     (commit.committed ? tally->committed : tally->aborted)++;
   }
 }
 
-sim::Task ConflictingReader(core::Cluster* cluster,
-                            txn::TransactionClient* client, Tally* tally) {
-  sim::Simulator* sim = cluster->simulator();
+sim::Task ConflictingReader(Db* db, txn::Session* session, Tally* tally) {
+  sim::Simulator* sim = db->simulator();
   for (int i = 0; i < 20; ++i) {
     co_await sim::SleepFor(sim, 150 * kMillisecond);
-    if (!(co_await client->Begin("g")).ok()) continue;
+    txn::Txn txn = co_await session->Begin(kGroup);
+    if (!txn.active()) continue;
     // Reads "a" (written by client 1) then writes "c": a true read-write
     // conflict whenever client 1 wins an intervening log position.
-    (void)co_await client->Read("g", "r", "a");
-    (void)client->Write("g", "r", "c", std::to_string(i));
-    txn::CommitResult commit = co_await client->Commit("g");
+    (void)co_await txn.Read(kRow, "a");
+    (void)txn.Write(kRow, "c", std::to_string(i));
+    txn::CommitResult commit = co_await txn.Commit();
     (commit.committed ? tally->committed : tally->aborted)++;
   }
 }
 
-void RunOnce(txn::Protocol protocol) {
+struct RunResult {
+  Tally writer_a, writer_b, reader;
+  int writers_committed() const {
+    return writer_a.committed + writer_b.committed;
+  }
+};
+
+RunResult RunOnce(txn::Protocol protocol) {
   core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
   config.seed = 31;
-  core::Cluster cluster(config);
-  (void)cluster.LoadInitialRow("g", "r",
-                               {{"a", "0"}, {"b", "0"}, {"c", "0"}});
+  Db db(config);
+  (void)db.Load(kGroup, kRow, {{"a", "0"}, {"b", "0"}, {"c", "0"}});
   txn::ClientOptions options;
   options.protocol = protocol;
 
-  Tally writer_a, writer_b, reader;
-  DisjointWriter(&cluster, cluster.CreateClient(0, options), "a", &writer_a);
-  DisjointWriter(&cluster, cluster.CreateClient(1, options), "b", &writer_b);
-  ConflictingReader(&cluster, cluster.CreateClient(2, options), &reader);
-  cluster.RunToCompletion();
+  RunResult result;
+  txn::Session s0 = db.Session(0, options);
+  txn::Session s1 = db.Session(1, options);
+  txn::Session s2 = db.Session(2, options);
+  DisjointWriter(&db, &s0, "a", &result.writer_a);
+  DisjointWriter(&db, &s1, "b", &result.writer_b);
+  ConflictingReader(&db, &s2, &result.reader);
+  db.Run();
 
   std::printf("%-9s | writer(a): %2d/%2d  writer(b): %2d/%2d  "
               "conflicting reader: %2d/%2d\n",
-              txn::ProtocolName(protocol), writer_a.committed,
-              writer_a.committed + writer_a.aborted, writer_b.committed,
-              writer_b.committed + writer_b.aborted, reader.committed,
-              reader.committed + reader.aborted);
+              txn::ProtocolName(protocol), result.writer_a.committed,
+              result.writer_a.total(), result.writer_b.committed,
+              result.writer_b.total(), result.reader.committed,
+              result.reader.total());
+  return result;
 }
 
 }  // namespace
@@ -81,11 +95,23 @@ void RunOnce(txn::Protocol protocol) {
 int main() {
   std::printf("two disjoint writers + one conflicting reader, 20 txns each "
               "(committed/attempted):\n\n");
-  RunOnce(txn::Protocol::kBasicPaxos);
-  RunOnce(txn::Protocol::kPaxosCP);
+  RunResult basic = RunOnce(txn::Protocol::kBasicPaxos);
+  RunResult cp = RunOnce(txn::Protocol::kPaxosCP);
   std::printf(
       "\nUnder basic Paxos the disjoint writers abort each other (pure log\n"
       "position contention); under Paxos-CP they both commit via promotion\n"
       "or combination, and only genuinely conflicting transactions abort.\n");
+
+  // The demo is deterministic; fail loudly if the claimed shape breaks
+  // (this binary runs as a ctest smoke test).
+  if (cp.writers_committed() <= basic.writers_committed()) {
+    std::printf("UNEXPECTED: CP disjoint writers committed %d <= basic %d\n",
+                cp.writers_committed(), basic.writers_committed());
+    return 1;
+  }
+  if (basic.writer_a.aborted + basic.writer_b.aborted == 0) {
+    std::printf("UNEXPECTED: basic Paxos aborted no disjoint writer\n");
+    return 1;
+  }
   return 0;
 }

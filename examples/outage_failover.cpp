@@ -7,34 +7,36 @@
 //   ./build/examples/outage_failover
 #include <cstdio>
 
-#include "core/checker.h"
-#include "core/cluster.h"
+#include "core/db.h"
 #include "sim/coro.h"
-#include "txn/client.h"
 
 using namespace paxoscp;
 
 namespace {
 
-sim::Task WriteLoop(core::Cluster* cluster, txn::TransactionClient* client,
-                    int txns, int* committed) {
-  sim::Simulator* sim = cluster->simulator();
+constexpr char kGroup[] = "g";
+constexpr char kRow[] = "r";
+
+sim::Task WriteLoop(Db* db, txn::Session* session, int txns, int* committed) {
+  sim::Simulator* sim = db->simulator();
   for (int i = 0; i < txns; ++i) {
     co_await sim::SleepFor(sim, 500 * kMillisecond);
-    if (!(co_await client->Begin("g")).ok()) continue;
-    (void)client->Write("g", "r", "seq", std::to_string(i));
-    txn::CommitResult commit = co_await client->Commit("g");
+    txn::Txn txn = co_await session->Begin(kGroup);
+    if (!txn.active()) continue;
+    (void)txn.Write(kRow, "seq", std::to_string(i));
+    txn::CommitResult commit = co_await txn.Commit();
     if (commit.committed) ++*committed;
     std::printf("  t=%5.1fs txn %2d -> %s\n",
                 sim->Now() / 1e6, i, commit.status.ToString().c_str());
   }
 }
 
-sim::Task ReadSeq(txn::TransactionClient* client, std::string* out) {
+sim::Task ReadSeq(txn::Session* session, std::string* out) {
   *out = "<unavailable>";
-  if (!(co_await client->Begin("g")).ok()) co_return;
-  Result<std::string> value = co_await client->Read("g", "r", "seq");
-  (void)co_await client->Commit("g");
+  txn::Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) co_return;
+  Result<std::string> value = co_await txn.Read(kRow, "seq");
+  (void)co_await txn.Commit();
   if (value.ok()) *out = *value;
 }
 
@@ -43,45 +45,45 @@ sim::Task ReadSeq(txn::TransactionClient* client, std::string* out) {
 int main() {
   core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
   config.seed = 7;
-  core::Cluster cluster(config);
-  (void)cluster.LoadInitialRow("g", "r", {{"seq", "-1"}});
+  Db db(config);
+  (void)db.Load(kGroup, kRow, {{"seq", "-1"}});
 
-  txn::TransactionClient* client = cluster.CreateClient(0, {});
+  txn::Session writer = db.Session(0);
 
   std::printf("phase 1: all datacenters up\n");
   std::printf("phase 2: datacenter 2 goes down at t=2.2s, back at t=6.2s\n");
-  cluster.simulator()->ScheduleAt(2200 * kMillisecond, [&cluster] {
+  db.simulator()->ScheduleAt(2200 * kMillisecond, [&db] {
     std::printf("  *** datacenter 2 OFFLINE ***\n");
-    cluster.SetDatacenterDown(2, true);
+    db.cluster()->SetDatacenterDown(2, true);
   });
-  cluster.simulator()->ScheduleAt(6200 * kMillisecond, [&cluster] {
+  db.simulator()->ScheduleAt(6200 * kMillisecond, [&db] {
     std::printf("  *** datacenter 2 BACK ONLINE ***\n");
-    cluster.SetDatacenterDown(2, false);
+    db.cluster()->SetDatacenterDown(2, false);
   });
 
   int committed = 0;
-  WriteLoop(&cluster, client, 12, &committed);
-  cluster.RunToCompletion();
+  WriteLoop(&db, &writer, 12, &committed);
+  db.Run();
   std::printf("committed %d/12 transactions across the outage\n", committed);
 
   // The log at the recovered datacenter was left behind during the outage;
   // a read triggers catch-up and returns the latest committed value.
-  const LogPos behind = cluster.service(2)->GroupLog("g")->MaxDecided();
-  const LogPos ahead = cluster.service(0)->GroupLog("g")->MaxDecided();
+  const LogPos behind = db.cluster()->service(2)->GroupLog(kGroup)->MaxDecided();
+  const LogPos ahead = db.cluster()->service(0)->GroupLog(kGroup)->MaxDecided();
   std::printf("log positions before catch-up: dc0=%llu dc2=%llu\n",
               static_cast<unsigned long long>(ahead),
               static_cast<unsigned long long>(behind));
 
   std::string seq;
-  ReadSeq(cluster.CreateClient(2, {}), &seq);
-  cluster.RunToCompletion();
+  txn::Session reader = db.Session(2);
+  ReadSeq(&reader, &seq);
+  db.Run();
   std::printf("read from recovered dc2: seq=%s (learn instances run: %llu)\n",
               seq.c_str(),
               static_cast<unsigned long long>(
-                  cluster.service(2)->learn_instances()));
+                  db.cluster()->service(2)->learn_instances()));
 
-  core::Checker checker(&cluster);
-  core::CheckReport report = checker.CheckAll("g", {});
+  core::CheckReport report = db.Check(kGroup);
   std::printf("invariants: %s\n", report.ToString().c_str());
   return (committed > 0 && report.ok) ? 0 : 1;
 }

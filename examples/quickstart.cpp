@@ -1,38 +1,48 @@
-// Quickstart: bring up a three-datacenter cluster, run a read-modify-write
+// Quickstart: bring up a three-datacenter database, run a read-modify-write
 // transaction through the Paxos-CP commit protocol, and read the result
 // back from a different datacenter.
+//
+// The application-facing API is three types (see docs/ARCHITECTURE.md,
+// design note D7):
+//   * Db            — wraps cluster construction, data loading, sessions.
+//   * txn::Session  — per-application-instance entry point; Begin() and
+//                     the RunTransaction retry combinator.
+//   * txn::Txn      — movable RAII handle owning one active transaction;
+//                     dropping it aborts (locally, for free).
 //
 //   cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/checker.h"
-#include "core/cluster.h"
+#include "core/db.h"
 #include "sim/coro.h"
-#include "txn/client.h"
 
 using namespace paxoscp;
 
 namespace {
 
+constexpr char kGroup[] = "accounts";
+constexpr char kRow[] = "row";
+
 // Application logic runs as simulation tasks (each models one application
 // instance thread in the paper's application platform).
-sim::Task Transfer(txn::TransactionClient* client, bool* done) {
-  // begin(): fetches the read position from the local Transaction Service.
-  Status begin = co_await client->Begin("accounts");
-  if (!begin.ok()) co_return;
+sim::Task Transfer(txn::Session* session, bool* done) {
+  // Begin(): fetches the read position from the local Transaction Service
+  // and returns the owning handle.
+  txn::Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) co_return;  // begin_status() says why
 
   // Snapshot reads at the read position.
-  Result<std::string> alice = co_await client->Read("accounts", "row", "alice");
-  Result<std::string> bob = co_await client->Read("accounts", "row", "bob");
-  if (!alice.ok() || !bob.ok()) co_return;
+  Result<std::string> alice = co_await txn.Read(kRow, "alice");
+  Result<std::string> bob = co_await txn.Read(kRow, "bob");
+  if (!alice.ok() || !bob.ok()) co_return;  // handle drop aborts
   const int a = std::stoi(*alice), b = std::stoi(*bob);
   std::printf("[txn] read alice=%d bob=%d\n", a, b);
 
   // Buffered writes; replicated on commit via Paxos-CP.
-  (void)client->Write("accounts", "row", "alice", std::to_string(a - 30));
-  (void)client->Write("accounts", "row", "bob", std::to_string(b + 30));
+  (void)txn.Write(kRow, "alice", std::to_string(a - 30));
+  (void)txn.Write(kRow, "bob", std::to_string(b + 30));
 
-  txn::CommitResult commit = co_await client->Commit("accounts");
+  txn::CommitResult commit = co_await txn.Commit();
   std::printf("[txn] commit: %s (log position %llu, %d promotions)\n",
               commit.status.ToString().c_str(),
               static_cast<unsigned long long>(commit.position),
@@ -40,14 +50,16 @@ sim::Task Transfer(txn::TransactionClient* client, bool* done) {
   *done = commit.committed;
 }
 
-sim::Task ReadBack(txn::TransactionClient* client) {
-  (void)co_await client->Begin("accounts");
-  Result<std::string> alice = co_await client->Read("accounts", "row", "alice");
-  Result<std::string> bob = co_await client->Read("accounts", "row", "bob");
-  (void)co_await client->Commit("accounts");  // read-only: free
+sim::Task ReadBack(txn::Session* session) {
+  txn::Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) co_return;
+  // Batched read: the whole row in one RPC.
+  Result<kvstore::AttributeMap> row = co_await txn.ReadRow(kRow);
+  (void)co_await txn.Commit();  // read-only: free
+  if (!row.ok()) co_return;
   std::printf("[remote] alice=%s bob=%s (read from another datacenter)\n",
-              alice.ok() ? alice->c_str() : "?",
-              bob.ok() ? bob->c_str() : "?");
+              row->count("alice") ? row->at("alice").c_str() : "?",
+              row->count("bob") ? row->at("bob").c_str() : "?");
 }
 
 }  // namespace
@@ -57,30 +69,28 @@ int main() {
   // zones); everything is simulated and deterministic.
   core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
   config.seed = 2026;
-  core::Cluster cluster(config);
+  Db db(config);
 
   // Pre-load the entity group ("accounts") with one row.
-  (void)cluster.LoadInitialRow("accounts", "row",
-                               {{"alice", "100"}, {"bob", "50"}});
+  (void)db.Load(kGroup, kRow, {{"alice", "100"}, {"bob", "50"}});
 
-  txn::ClientOptions options;  // defaults: Paxos-CP, 2 s timeouts
-  txn::TransactionClient* writer = cluster.CreateClient(/*dc=*/0, options);
-  txn::TransactionClient* reader = cluster.CreateClient(/*dc=*/2, options);
+  // Sessions (defaults: Paxos-CP, 2 s timeouts).
+  txn::Session writer = db.Session(/*dc=*/0);
+  txn::Session reader = db.Session(/*dc=*/2);
 
   bool committed = false;
-  Transfer(writer, &committed);
-  cluster.RunToCompletion();
+  Transfer(&writer, &committed);
+  db.Run();
   if (!committed) {
     std::printf("transfer did not commit\n");
     return 1;
   }
 
-  ReadBack(reader);
-  cluster.RunToCompletion();
+  ReadBack(&reader);
+  db.Run();
 
   // Verify the run satisfied every correctness obligation of the paper.
-  core::Checker checker(&cluster);
-  core::CheckReport report = checker.CheckAll("accounts", {});
+  core::CheckReport report = db.Check(kGroup);
   std::printf("invariants: %s\n", report.ToString().c_str());
   return report.ok ? 0 : 1;
 }

@@ -138,9 +138,29 @@ void Checker::CheckOneCopySerializability(
   // latest write to that item preceding the transaction in S — that is the
   // reads-x-from equivalence of Definition 1.
   std::map<wal::ItemId, LastWrite> state;
+  /// Last position (in serial order so far) writing any attribute of a
+  /// row — validates whole-row predicate reads (Txn::ReadRow).
+  std::map<std::string, LogPos> row_last_write;
   for (const auto& [pos, entry] : log) {
     for (const wal::TxnRecord& t : entry.txns) {
       for (const wal::ReadRecord& r : t.reads) {
+        if (r.item.attribute == wal::kWholeRowAttribute) {
+          // Whole-row predicate read (phantom protection): the reader
+          // observed the row's attribute set at its read position, so no
+          // write to the row may precede it in serial order beyond that
+          // snapshot — otherwise an attribute it saw as absent may have
+          // been created behind its back.
+          auto rw = row_last_write.find(r.item.row);
+          if (rw != row_last_write.end() && rw->second > t.read_pos) {
+            report->Violation(
+                "(L3) txn " + TxnIdToString(t.id) + " at position " +
+                std::to_string(pos) + " read whole row '" + r.item.row +
+                "' at snapshot " + std::to_string(t.read_pos) +
+                " but the row was written at position " +
+                std::to_string(rw->second));
+          }
+          continue;
+        }
         LastWrite expected;  // initial state: writer 0 at position 0
         auto it = state.find(r.item);
         if (it != state.end()) expected = it->second;
@@ -157,6 +177,7 @@ void Checker::CheckOneCopySerializability(
       }
       for (const wal::WriteRecord& w : t.writes) {
         state[w.item] = LastWrite{t.id, pos};
+        row_last_write[w.item.row] = pos;
       }
     }
   }

@@ -1,5 +1,8 @@
 #include "core/cluster.h"
 
+#include <cstdlib>
+
+#include "common/logging.h"
 #include "fault/injector.h"
 
 namespace paxoscp::core {
@@ -52,14 +55,32 @@ uint64_t Cluster::NextSeed() { return seed_rng_.Next(); }
 
 txn::TransactionClient* Cluster::CreateClient(
     DcId dc, const txn::ClientOptions& options) {
+  if (dc < 0 || dc >= num_datacenters()) {
+    PAXOSCP_LOG(kError) << "CreateClient: datacenter " << dc
+                        << " out of range [0, " << num_datacenters() << ")";
+    std::abort();
+  }
   clients_.push_back(std::make_unique<txn::TransactionClient>(
       network_.get(), dc, options, next_client_uid_++, NextSeed()));
   return clients_.back().get();
 }
 
+txn::Session Cluster::CreateSession(DcId dc,
+                                    const txn::ClientOptions& options) {
+  return txn::Session(CreateClient(dc, options));
+}
+
 Status Cluster::LoadInitialRow(const std::string& group,
                                const std::string& row,
                                const kvstore::AttributeMap& attributes) {
+  // The whole-row predicate marker must stay out of data rows everywhere,
+  // not just in Txn::Write: a loaded "*" attribute would be read back as
+  // a row-level predicate by the conflict checks.
+  for (const auto& [attribute, value] : attributes) {
+    if (wal::IsReservedAttribute(attribute)) {
+      return wal::ReservedAttributeError();
+    }
+  }
   for (DcId dc = 0; dc < num_datacenters(); ++dc) {
     PAXOSCP_RETURN_IF_ERROR(
         services_[dc]->GroupLog(group)->LoadInitialRow(row, attributes));

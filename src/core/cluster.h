@@ -37,9 +37,18 @@ class Cluster {
   kvstore::MultiVersionStore* store(DcId dc) { return stores_[dc].get(); }
   txn::TransactionService* service(DcId dc) { return services_[dc].get(); }
 
-  /// Creates a Transaction Client homed at `dc`. The cluster owns it.
+  /// Creates a Transaction Client homed at `dc` (which must be a valid
+  /// datacenter index; out-of-range aborts). The returned pointer is owned
+  /// by the cluster and stays valid until the cluster is destroyed —
+  /// callers must never delete it. Application code should not use this
+  /// directly: prefer CreateSession / Db::Session, whose handles cannot
+  /// outlive or double-free the client.
   txn::TransactionClient* CreateClient(DcId dc,
                                        const txn::ClientOptions& options);
+
+  /// Opens a session (the public transaction API, txn/txn.h) homed at
+  /// `dc`, backed by a fresh cluster-owned client.
+  txn::Session CreateSession(DcId dc, const txn::ClientOptions& options = {});
 
   /// Seeds the same initial data row into every datacenter (position-0
   /// state, the workload's pre-loaded YCSB row).

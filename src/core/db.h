@@ -1,0 +1,63 @@
+// paxoscp::Db — the application-facing entry point (what Spinnaker and
+// Consus present as "the client library"): wraps cluster construction,
+// initial data loading, and session creation behind one object, so an
+// application touches exactly three types — Db, txn::Session, txn::Txn —
+// instead of wiring Cluster / TransactionClient / group strings by hand.
+//
+//   Db db(config);
+//   db.Load("accounts", "row", {{"alice", "100"}});
+//   txn::Session session = db.Session(/*dc=*/0);
+//   ... co_await session.Begin("accounts") / session.RunTransaction(...)
+//   db.Run();  // drain the simulation
+#pragma once
+
+#include <string>
+
+#include "core/checker.h"
+#include "core/cluster.h"
+#include "txn/txn.h"
+
+namespace paxoscp {
+
+class Db {
+ public:
+  explicit Db(core::ClusterConfig config) : cluster_(std::move(config)) {}
+
+  /// The underlying cluster, for fault injection, per-DC inspection, and
+  /// the workload runner.
+  core::Cluster* cluster() { return &cluster_; }
+  sim::Simulator* simulator() { return cluster_.simulator(); }
+  int num_datacenters() const { return cluster_.num_datacenters(); }
+
+  /// Seeds the same initial data row into every datacenter (position-0
+  /// state; the pre-transaction snapshot every workload starts from).
+  Status Load(const std::string& group, const std::string& row,
+              const kvstore::AttributeMap& attributes) {
+    return cluster_.LoadInitialRow(group, row, attributes);
+  }
+
+  /// Opens a session homed at datacenter `dc`. The session (and every
+  /// handle it yields) borrows a client owned by the cluster, so it must
+  /// not outlive this Db; `dc` must be a valid datacenter index.
+  txn::Session Session(DcId dc, const txn::ClientOptions& options = {}) {
+    return cluster_.CreateSession(dc, options);
+  }
+
+  /// Runs the simulation until no events remain (all application
+  /// coroutines finished). Returns the number of events executed.
+  uint64_t Run(uint64_t max_events = UINT64_MAX) {
+    return cluster_.RunToCompletion(max_events);
+  }
+
+  /// Full invariant check of `group`'s replicated history (R1, L1-L3,
+  /// MVSG acyclicity) — the paper's correctness obligations.
+  core::CheckReport Check(const std::string& group) {
+    core::Checker checker(&cluster_);
+    return checker.CheckAll(group, {});
+  }
+
+ private:
+  core::Cluster cluster_;
+};
+
+}  // namespace paxoscp

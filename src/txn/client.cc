@@ -23,23 +23,16 @@ TransactionClient::TransactionClient(net::Network* network, DcId home,
   majority_ = d / 2 + 1;
 }
 
-LogPos TransactionClient::ActiveReadPos(const std::string& group) const {
-  auto it = active_.find(group);
-  return it == active_.end() ? 0 : it->second.txn.read_pos;
-}
-
-TxnId TransactionClient::ActiveTxnId(const std::string& group) const {
-  auto it = active_.find(group);
-  return it == active_.end() ? 0 : it->second.txn.id;
-}
-
-size_t TransactionClient::ActiveReadSetSize(const std::string& group) const {
-  auto it = active_.find(group);
-  return it == active_.end() ? 0 : it->second.txn.reads.size();
-}
-
 TimeMicros TransactionClient::RandomBackoff() {
   return rng_.UniformRange(options_.backoff_min, options_.backoff_max);
+}
+
+TimeMicros TransactionClient::RandomBackoffIn(TimeMicros lo, TimeMicros hi) {
+  return rng_.UniformRange(lo, hi);
+}
+
+void TransactionClient::ReleaseGroup(const std::string& group) {
+  active_groups_.erase(group);
 }
 
 sim::Coro<net::CallResult> TransactionClient::CallWithFailover(
@@ -68,50 +61,47 @@ sim::Coro<net::BroadcastResult> TransactionClient::BroadcastToAll(
   co_return co_await network_->Broadcast(home_, all_dcs_, payload, bopts);
 }
 
-sim::Coro<Status> TransactionClient::Begin(std::string group) {
-  if (active_.count(group) > 0) {
-    co_return Status::FailedPrecondition(
-        "client already has an active transaction on group '" + group + "'");
+sim::Coro<Txn> TransactionClient::BeginTxn(std::string group) {
+  if (active_groups_.count(group) > 0) {
+    co_return Txn(Status::FailedPrecondition(
+        "client already has an active transaction on group '" + group + "'"));
   }
+  active_groups_.insert(group);
   ServiceRequest begin_request = BeginRequest{group};
   net::CallResult result = co_await CallWithFailover(&begin_request);
-  if (!result.status.ok()) co_return result.status;
+  if (!result.status.ok()) {
+    active_groups_.erase(group);
+    co_return Txn(result.status);
+  }
   const auto& response = std::any_cast<const ServiceResponse&>(result.response);
   const auto& begin = std::get<BeginResponse>(response);
 
-  ActiveState state;
-  state.txn.group = group;
-  state.txn.id = MakeTxnId(
+  auto state = std::make_unique<TxnState>();
+  state->txn.group = std::move(group);
+  state->txn.id = MakeTxnId(
       home_, (static_cast<uint64_t>(client_uid_) << 24) | (next_seq_++));
-  state.txn.read_pos = begin.read_pos;
-  state.txn.leader_dc = begin.leader_dc;
-  active_.emplace(group, std::move(state));
-  co_return Status::OK();
+  state->txn.read_pos = begin.read_pos;
+  state->txn.leader_dc = begin.leader_dc;
+  co_return Txn(this, std::move(state));
 }
 
-sim::Coro<Result<std::string>> TransactionClient::Read(
-    std::string group, std::string row, std::string attribute) {
-  auto it = active_.find(group);
-  if (it == active_.end()) {
-    co_return Status::FailedPrecondition("no active transaction on group '" +
-                                         group + "'");
-  }
-  ActiveState& state = it->second;
+sim::Coro<Result<std::string>> TransactionClient::ReadItem(
+    TxnState* state, std::string row, std::string attribute) {
   const wal::ItemId item{row, attribute};
 
   // (A1) read-own-writes from the local buffer.
   std::string buffered;
-  if (state.txn.Read(item, &buffered)) co_return buffered;
+  if (state->txn.Read(item, &buffered)) co_return buffered;
 
   // Repeated snapshot reads return the cached first observation (the
   // snapshot cannot change: all reads use one read position, property A2).
-  if (auto cached = state.read_cache.find(item);
-      cached != state.read_cache.end()) {
+  if (auto cached = state->read_cache.find(item);
+      cached != state->read_cache.end()) {
     co_return cached->second;
   }
 
   ServiceRequest read_request =
-      ReadRequest{group, item, state.txn.read_pos};
+      ReadRequest{state->txn.group, item, state->txn.read_pos};
   net::CallResult result = co_await CallWithFailover(&read_request);
   if (!result.status.ok()) co_return result.status;
   const auto& response = std::any_cast<const ServiceResponse&>(result.response);
@@ -119,45 +109,60 @@ sim::Coro<Result<std::string>> TransactionClient::Read(
   if (!read.status.ok()) co_return read.status;
 
   // Record the read (with observed provenance) in the read set.
-  if (!state.txn.HasRecordedRead(item)) {
-    state.txn.reads.push_back(wal::ReadRecord{item, read.read.writer,
-                                              read.read.written_pos});
+  if (!state->txn.HasRecordedRead(item)) {
+    state->txn.reads.push_back(wal::ReadRecord{item, read.read.writer,
+                                               read.read.written_pos});
   }
-  state.read_cache[item] = read.read.value;
+  state->read_cache[item] = read.read.value;
   co_return read.read.value;
 }
 
-Status TransactionClient::Write(const std::string& group,
-                                const std::string& row,
-                                const std::string& attribute,
-                                std::string value) {
-  auto it = active_.find(group);
-  if (it == active_.end()) {
-    return Status::FailedPrecondition("no active transaction on group '" +
-                                      group + "'");
+sim::Coro<Result<kvstore::AttributeMap>> TransactionClient::ReadRowItems(
+    TxnState* state, std::string row) {
+  ServiceRequest read_request =
+      ReadRowRequest{state->txn.group, row, state->txn.read_pos};
+  net::CallResult result = co_await CallWithFailover(&read_request);
+  if (!result.status.ok()) co_return result.status;
+  const auto& response = std::any_cast<const ServiceResponse&>(result.response);
+  const auto& read = std::get<ReadRowResponse>(response);
+  if (!read.status.ok()) co_return read.status;
+
+  kvstore::AttributeMap out;
+  for (const auto& [attribute, item_read] : read.attrs) {
+    const wal::ItemId item{row, attribute};
+    // (A1) attributes this transaction already wrote are served from the
+    // buffer (the overlay loop below supplies the value) and never enter
+    // the read set.
+    std::string buffered;
+    if (state->txn.Read(item, &buffered)) continue;
+    if (!state->txn.HasRecordedRead(item)) {
+      state->txn.reads.push_back(
+          wal::ReadRecord{item, item_read.writer, item_read.written_pos});
+    }
+    state->read_cache[item] = item_read.value;
+    out[attribute] = item_read.value;
   }
-  it->second.txn.writes[wal::ItemId{row, attribute}] = std::move(value);
-  return Status::OK();
+  // Buffered writes of attributes absent from the snapshot still belong
+  // to the row this transaction observes.
+  for (const auto& [item, value] : state->txn.writes) {
+    if (item.row == row) out[item.attribute] = value;
+  }
+  // Reading the whole row also observes which attributes exist, so record
+  // a row-level predicate read: a concurrent transaction creating an
+  // attribute this one saw as absent is a genuine conflict (phantom
+  // protection; TxnRecord::Writes matches it against any write to the
+  // row). The single-item path gets this for free by recording absent
+  // reads with provenance 0/0.
+  const wal::ItemId row_predicate{row, wal::kWholeRowAttribute};
+  if (!state->txn.HasRecordedRead(row_predicate)) {
+    state->txn.reads.push_back(wal::ReadRecord{row_predicate, 0, 0});
+  }
+  co_return out;
 }
 
-Status TransactionClient::Abort(const std::string& group) {
-  if (active_.erase(group) == 0) {
-    return Status::FailedPrecondition("no active transaction on group '" +
-                                      group + "'");
-  }
-  return Status::OK();
-}
-
-sim::Coro<CommitResult> TransactionClient::Commit(std::string group) {
+sim::Coro<CommitResult> TransactionClient::CommitTxn(TxnState* state) {
   CommitResult result;
-  auto it = active_.find(group);
-  if (it == active_.end()) {
-    result.status = Status::FailedPrecondition(
-        "no active transaction on group '" + group + "'");
-    co_return result;
-  }
-  ActiveTxn txn = std::move(it->second.txn);
-  active_.erase(it);
+  ActiveTxn txn = std::move(state->txn);
   const TimeMicros start = sim_->Now();
 
   // Read-only transactions commit automatically with no replication
@@ -182,7 +187,7 @@ sim::Coro<CommitResult> TransactionClient::Commit(std::string group) {
 
   for (;;) {
     InstanceOutcome outcome =
-        co_await RunInstance(group, pos, &own, leader, &result);
+        co_await RunInstance(txn.group, pos, &own, leader, &result);
     if (outcome.kind == InstanceOutcome::Kind::kUnavailable) {
       result.status =
           Status::Unavailable("commit protocol could not reach a quorum");

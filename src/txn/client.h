@@ -1,11 +1,17 @@
 // The Transaction Client: the library an application instance links to
-// (paper §2.2 / §4). Provides begin / read / write / commit, buffers the
-// read and write sets locally, and on commit runs either the basic Paxos
-// commit protocol (Algorithm 2) or Paxos-CP (§5, combination + promotion)
-// against the Transaction Services of every datacenter.
+// (paper §2.2 / §4). Runs the wire protocol — begin / snapshot read /
+// buffered write / commit via either the basic Paxos commit protocol
+// (Algorithm 2) or Paxos-CP (§5, combination + promotion) — against the
+// Transaction Services of every datacenter.
+//
+// Applications do not call the client directly: the public transaction
+// surface is the `txn::Session` / `txn::Txn` handle API (txn/txn.h),
+// which owns the per-transaction state and delegates here. The client
+// only enforces the per-group exclusivity rule (at most one active
+// transaction per group per client, paper §2.2) via `active_groups_`.
 #pragma once
 
-#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,6 +22,7 @@
 #include "sim/coro.h"
 #include "txn/messages.h"
 #include "txn/transaction.h"
+#include "txn/txn.h"
 
 namespace paxoscp::txn {
 
@@ -29,49 +36,54 @@ class TransactionClient {
 
   DcId home() const { return home_; }
   const ClientOptions& options() const { return options_; }
+  sim::Simulator* simulator() const { return sim_; }
 
-  /// Starts a transaction on `group`: fetches the read position from the
-  /// local Transaction Service (failing over to remote ones, paper step 1).
-  /// At most one active transaction per group per client (paper §2.2).
-  sim::Coro<Status> Begin(std::string group);
-
-  /// Snapshot read at the transaction's read position. Reads of items the
-  /// transaction already wrote return the buffered value (property A1);
-  /// all other reads observe the read-position snapshot (property A2).
-  /// A never-written item reads as the empty string.
-  sim::Coro<Result<std::string>> Read(std::string group, std::string row,
-                                      std::string attribute);
-
-  /// Buffers a write locally (paper step 3: writes are handled locally by
-  /// the Transaction Client until commit).
-  Status Write(const std::string& group, const std::string& row,
-               const std::string& attribute, std::string value);
-
-  /// Runs the commit protocol. Read-only transactions commit immediately
-  /// with no messages. Always clears the active transaction.
-  sim::Coro<CommitResult> Commit(std::string group);
-
-  /// Discards the active transaction without committing.
-  Status Abort(const std::string& group);
-
+  /// True while a `Txn` handle holds this client's active slot for
+  /// `group` (test hook; released by commit, abort, or handle drop).
   bool HasActiveTxn(const std::string& group) const {
-    return active_.count(group) > 0;
+    return active_groups_.count(group) > 0;
   }
-  /// Read position of the active transaction (test hook).
-  LogPos ActiveReadPos(const std::string& group) const;
-  /// Id of the active transaction (0 if none); harnesses record it before
-  /// Commit so outcomes can be cross-checked against the log.
-  TxnId ActiveTxnId(const std::string& group) const;
-  /// Number of recorded snapshot reads in the active transaction.
-  size_t ActiveReadSetSize(const std::string& group) const;
 
  private:
+  // The handle API is the only caller of the per-transaction operations.
+  friend class Txn;
+  friend class Session;
+
   /// Outcome of running the commit protocol for one log position.
   struct InstanceOutcome {
     enum class Kind { kWon, kLost, kUnavailable } kind = Kind::kUnavailable;
     /// The decided entry (kWon and kLost).
     wal::LogEntry decided;
   };
+
+  /// Starts a transaction on `group` (paper step 1): reserves the
+  /// per-group slot, fetches the read position from the local Transaction
+  /// Service (failing over to remote ones), and returns the owning
+  /// handle. On failure the handle is inactive and carries the status.
+  sim::Coro<Txn> BeginTxn(std::string group);
+
+  /// Snapshot read of one item for the transaction in `*state` (which the
+  /// awaiting Txn/caller keeps alive; see Txn::Read for A1/A2 semantics).
+  sim::Coro<Result<std::string>> ReadItem(TxnState* state, std::string row,
+                                          std::string attribute);
+
+  /// Batched snapshot read of all attributes of `row`, overlaid with the
+  /// transaction's buffered writes; each snapshot-served attribute is
+  /// recorded in the read set.
+  sim::Coro<Result<kvstore::AttributeMap>> ReadRowItems(TxnState* state,
+                                                        std::string row);
+
+  /// Runs the commit protocol for the transaction in `*state`. The caller
+  /// (Txn::Commit) has already released the group slot; the state is
+  /// consumed (moved from) by this call.
+  sim::Coro<CommitResult> CommitTxn(TxnState* state);
+
+  /// Frees the per-group active slot (commit start, abort, handle drop).
+  void ReleaseGroup(const std::string& group);
+
+  /// Uniform draw from the client's RNG (Session retry backoff shares the
+  /// protocol RNG so a workload run consumes one deterministic stream).
+  TimeMicros RandomBackoffIn(TimeMicros lo, TimeMicros hi);
 
   /// Runs one Paxos instance for `pos`, proposing `own`. Implements
   /// Algorithm 2 (prepare / accept / apply with randomized backoff), the
@@ -111,12 +123,9 @@ class TransactionClient {
   std::vector<DcId> all_dcs_;
   int majority_;
 
-  struct ActiveState {
-    ActiveTxn txn;
-    /// Cache of snapshot values already read (for repeated reads).
-    std::map<wal::ItemId, std::string> read_cache;
-  };
-  std::map<std::string, ActiveState> active_;
+  /// Groups with a live `Txn` handle (the state itself lives in the
+  /// handle; only the exclusivity slot is tracked here).
+  std::set<std::string> active_groups_;
 };
 
 }  // namespace paxoscp::txn

@@ -6,6 +6,7 @@ const char* RequestName(const ServiceRequest& request) {
   struct Visitor {
     const char* operator()(const BeginRequest&) const { return "begin"; }
     const char* operator()(const ReadRequest&) const { return "read"; }
+    const char* operator()(const ReadRowRequest&) const { return "read_row"; }
     const char* operator()(const PrepareRequest&) const { return "prepare"; }
     const char* operator()(const AcceptRequest&) const { return "accept"; }
     const char* operator()(const ApplyRequest&) const { return "apply"; }

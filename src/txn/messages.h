@@ -8,7 +8,9 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -40,6 +42,21 @@ struct ReadRequest {
 struct ReadResponse {
   Status status;
   wal::ItemRead read;
+};
+
+/// readRow(groupKey, row): batched snapshot read of every attribute of one
+/// row at the transaction's read position (one RPC instead of one per
+/// attribute; backs Txn::ReadRow). Provenance shadow attributes are
+/// decoded into per-attribute ItemReads, never exposed raw.
+struct ReadRowRequest {
+  std::string group;
+  std::string row;
+  LogPos read_pos = 0;
+};
+struct ReadRowResponse {
+  Status status;
+  /// (attribute, read) pairs for every value attribute of the row.
+  std::vector<std::pair<std::string, wal::ItemRead>> attrs;
 };
 
 /// Paxos prepare (Algorithm 1, receive(cid, prepare, propNum)).
@@ -85,11 +102,12 @@ struct ClaimLeaderResponse {
 };
 
 using ServiceRequest =
-    std::variant<BeginRequest, ReadRequest, PrepareRequest, AcceptRequest,
-                 ApplyRequest, ClaimLeaderRequest>;
+    std::variant<BeginRequest, ReadRequest, ReadRowRequest, PrepareRequest,
+                 AcceptRequest, ApplyRequest, ClaimLeaderRequest>;
 using ServiceResponse =
-    std::variant<BeginResponse, ReadResponse, PrepareResponse, AcceptResponse,
-                 ApplyResponse, ClaimLeaderResponse>;
+    std::variant<BeginResponse, ReadResponse, ReadRowResponse,
+                 PrepareResponse, AcceptResponse, ApplyResponse,
+                 ClaimLeaderResponse>;
 
 /// Human-readable message-type name (for traces and message accounting).
 const char* RequestName(const ServiceRequest& request);

@@ -59,6 +59,8 @@ sim::Coro<std::any> TransactionService::Handle(DcId from,
     response = co_await HandleBegin(r);
   } else if (const auto* r = std::get_if<ReadRequest>(&req)) {
     response = co_await HandleRead(r);
+  } else if (const auto* r = std::get_if<ReadRowRequest>(&req)) {
+    response = co_await HandleReadRow(r);
   } else if (const auto* r = std::get_if<PrepareRequest>(&req)) {
     response = co_await HandlePrepare(r);
   } else if (const auto* r = std::get_if<AcceptRequest>(&req)) {
@@ -101,6 +103,21 @@ sim::Coro<ServiceResponse> TransactionService::HandleRead(
   response.status = co_await CatchUp(gs, request->read_pos);
   if (response.status.ok()) {
     response.read = gs->log.ReadItem(request->item, request->read_pos);
+    ++reads_served_;
+  }
+  co_return ServiceResponse(std::move(response));
+}
+
+sim::Coro<ServiceResponse> TransactionService::HandleReadRow(
+    const ReadRowRequest* request) {
+  // One full-row read costs one storage operation, like an item read (in
+  // the paper's HBase testbed both fetch one row).
+  co_await sim::SleepFor(network_->simulator(), model_.read);
+  GroupState* gs = Group(request->group);
+  ReadRowResponse response;
+  response.status = co_await CatchUp(gs, request->read_pos);
+  if (response.status.ok()) {
+    response.attrs = gs->log.ReadRow(request->row, request->read_pos);
     ++reads_served_;
   }
   co_return ServiceResponse(std::move(response));

@@ -100,6 +100,7 @@ class TransactionService {
   // (lifetime hazards; see client.h).
   sim::Coro<ServiceResponse> HandleBegin(const BeginRequest* request);
   sim::Coro<ServiceResponse> HandleRead(const ReadRequest* request);
+  sim::Coro<ServiceResponse> HandleReadRow(const ReadRowRequest* request);
   sim::Coro<ServiceResponse> HandlePrepare(const PrepareRequest* request);
   sim::Coro<ServiceResponse> HandleAccept(const AcceptRequest* request);
   sim::Coro<ServiceResponse> HandleApply(const ApplyRequest* request);

@@ -193,6 +193,30 @@ ItemRead WriteAheadLog::ReadItem(const ItemId& item, LogPos read_pos) const {
   return out;
 }
 
+std::vector<std::pair<std::string, ItemRead>> WriteAheadLog::ReadRow(
+    const std::string& row, LogPos read_pos) const {
+  std::vector<std::pair<std::string, ItemRead>> out;
+  Result<kvstore::RowVersion> version =
+      store_->Read(DataKey(row), static_cast<Timestamp>(read_pos));
+  if (!version.ok()) return out;  // initial state: no row
+  const kvstore::AttributeMap& attrs = *version->attributes;
+  constexpr std::string_view kPrefix = kProvenancePrefix;
+  for (const auto& [attribute, value] : attrs) {
+    if (std::string_view(attribute).substr(0, kPrefix.size()) == kPrefix) {
+      continue;  // provenance shadow attribute
+    }
+    ItemRead read;
+    read.value = value;
+    read.found = true;
+    auto prov = attrs.find(kProvenancePrefix + attribute);
+    if (prov != attrs.end()) {
+      DecodeProvenance(prov->second, &read.writer, &read.written_pos);
+    }
+    out.emplace_back(attribute, std::move(read));
+  }
+  return out;
+}
+
 Status WriteAheadLog::LoadInitialRow(const std::string& row,
                                      const kvstore::AttributeMap& attributes) {
   return store_->MergeWrite(DataKey(row), attributes, /*timestamp=*/0);

@@ -14,6 +14,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -63,6 +65,12 @@ class WriteAheadLog {
   /// Snapshot read of one item at `read_pos` (requires ApplyThrough has
   /// reached read_pos; the TransactionService guarantees this).
   ItemRead ReadItem(const ItemId& item, LogPos read_pos) const;
+
+  /// Snapshot read of every value attribute of `row` at `read_pos`, with
+  /// per-attribute provenance decoded from the shadow attributes (which
+  /// are not returned). A missing row yields an empty vector.
+  std::vector<std::pair<std::string, ItemRead>> ReadRow(
+      const std::string& row, LogPos read_pos) const;
 
   /// Loads initial data rows at position 0 (the pre-transaction state used
   /// by workload setup). Writes value attributes only; provenance is 0/0.

@@ -32,8 +32,11 @@ bool TxnRecord::Reads(const ItemId& it) const {
 }
 
 bool TxnRecord::Writes(const ItemId& it) const {
+  // A whole-row predicate read conflicts with any write to that row (the
+  // reader observed the row's attribute set; see kWholeRowAttribute).
+  const bool whole_row = it.attribute == kWholeRowAttribute;
   for (const WriteRecord& w : writes) {
-    if (w.item == it) return true;
+    if (whole_row ? w.item.row == it.row : w.item == it) return true;
   }
   return false;
 }

@@ -34,6 +34,28 @@ struct ItemId {
   std::string ToString() const { return row + "." + attribute; }
 };
 
+/// Reserved attribute name marking a whole-row predicate read in a read
+/// set: a transaction that read the entire row (Txn::ReadRow) observed
+/// which attributes exist, so its read record must conflict with *any*
+/// write to the row — including writes creating attributes it saw as
+/// absent (phantom protection). Never used as a real attribute name and
+/// never appears in write sets.
+inline constexpr char kWholeRowAttribute[] = "*";
+
+/// True for attribute names applications may not use (currently only the
+/// whole-row marker). Every entry point accepting user attributes —
+/// Txn::Read/Write/WriteRow, Cluster::LoadInitialRow — must reject these
+/// with ReservedAttributeError() so the marker never enters data rows.
+inline bool IsReservedAttribute(std::string_view attribute) {
+  return attribute == kWholeRowAttribute;
+}
+
+inline Status ReservedAttributeError() {
+  return Status::InvalidArgument(std::string("attribute name '") +
+                                 kWholeRowAttribute +
+                                 "' is reserved for whole-row reads");
+}
+
 /// One read performed by a transaction, with observed provenance:
 /// the id of the transaction whose write produced the value we saw and the
 /// log position of that write (0/0 for the initial, unwritten state).
@@ -67,7 +89,9 @@ struct TxnRecord {
 
   /// True if this transaction read item `it`.
   bool Reads(const ItemId& it) const;
-  /// True if this transaction writes item `it`.
+  /// True if this transaction writes an item covered by `it`. `it` is a
+  /// read-set item: a whole-row predicate read (attribute ==
+  /// kWholeRowAttribute) covers every write to that row.
   bool Writes(const ItemId& it) const;
 };
 

@@ -40,33 +40,32 @@ WindowCounts* WindowFor(RunContext* ctx, TimeMicros started_at) {
   return &ctx->stats.windows[index];
 }
 
-sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
+sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
                           Generator* generator) {
   const std::string& group = ctx->config.workload.group;
   const std::string& row = ctx->config.workload.row;
   RunStats& stats = ctx->stats;
-  const DcId dc = client->home();
+  const DcId dc = session->home();
 
   ++stats.attempted;
   ++stats.attempted_by_dc[dc];
   const TimeMicros started_at = ctx->cluster->simulator()->Now();
   if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->attempted;
 
-  Status begin = co_await client->Begin(group);
-  if (!begin.ok()) {
+  txn::Txn txn = co_await session->Begin(group);
+  if (!txn.active()) {
     ++stats.failed;
     if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
     co_return;
   }
-  const TxnId id = client->ActiveTxnId(group);
+  const TxnId id = txn.id();
 
   for (const Op& op : generator->NextTxnOps()) {
     if (op.is_read) {
-      Result<std::string> value = co_await client->Read(group, row,
-                                                        op.attribute);
+      Result<std::string> value = co_await txn.Read(row, op.attribute);
       if (!value.ok()) {
         // Read could not be served anywhere (e.g. total outage): abandon.
-        (void)client->Abort(group);
+        txn.Abort();
         ++stats.failed;
         if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
         core::ClientOutcome outcome;
@@ -76,51 +75,53 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::TransactionClient* client,
         co_return;
       }
     } else {
-      (void)client->Write(group, row, op.attribute, op.value);
+      (void)txn.Write(row, op.attribute, op.value);
     }
   }
 
-  txn::CommitResult result = co_await client->Commit(group);
+  txn::CommitResult result = co_await txn.Commit();
+  const txn::TxnOutcome fate = txn::ClassifyCommit(result);
 
   core::ClientOutcome outcome;
   outcome.id = id;
   outcome.committed = result.committed;
   outcome.read_only = result.read_only;
   outcome.position = result.position;
-  outcome.unknown = !result.committed && !result.status.IsAborted();
+  outcome.unknown = fate == txn::TxnOutcome::kUnknownOutcome;
   stats.outcomes.push_back(outcome);
 
   if (WindowCounts* w = WindowFor(ctx, started_at)) {
-    if (result.read_only) {
-      ++w->read_only;
-    } else if (result.committed) {
-      ++w->committed;
-    } else if (result.status.IsAborted()) {
-      ++w->aborted;
-    } else {
-      ++w->unavailable;
+    switch (fate) {
+      case txn::TxnOutcome::kReadOnly: ++w->read_only; break;
+      case txn::TxnOutcome::kCommitted: ++w->committed; break;
+      case txn::TxnOutcome::kConflict: ++w->aborted; break;
+      default: ++w->unavailable; break;
     }
   }
 
-  if (result.read_only) {
-    ++stats.read_only;
-    co_return;
-  }
-  if (result.committed) {
-    ++stats.committed;
-    ++stats.committed_by_dc[dc];
-    EnsureRound(&stats, result.promotions);
-    ++stats.commits_by_round[result.promotions];
-    stats.latency_by_round[result.promotions].Record(result.latency);
-    stats.latency_committed.Record(result.latency);
-    stats.latency_by_dc[dc].Record(result.latency);
-    stats.max_promotions = std::max(stats.max_promotions, result.promotions);
-    if (result.fast_path) ++stats.fast_path_commits;
-  } else if (result.status.IsAborted()) {
-    ++stats.aborted;
-    stats.latency_aborted.Record(result.latency);
-  } else {
-    ++stats.failed;
+  switch (fate) {
+    case txn::TxnOutcome::kReadOnly:
+      ++stats.read_only;
+      break;
+    case txn::TxnOutcome::kCommitted:
+      ++stats.committed;
+      ++stats.committed_by_dc[dc];
+      EnsureRound(&stats, result.promotions);
+      ++stats.commits_by_round[result.promotions];
+      stats.latency_by_round[result.promotions].Record(result.latency);
+      stats.latency_committed.Record(result.latency);
+      stats.latency_by_dc[dc].Record(result.latency);
+      stats.max_promotions = std::max(stats.max_promotions,
+                                      result.promotions);
+      if (result.fast_path) ++stats.fast_path_commits;
+      break;
+    case txn::TxnOutcome::kConflict:
+      ++stats.aborted;
+      stats.latency_aborted.Record(result.latency);
+      break;
+    default:
+      ++stats.failed;
+      break;
   }
 }
 
@@ -162,8 +163,7 @@ sim::Task RunThread(RunContext* ctx, int thread_index, int txns,
                         ? config.client_dc
                         : config.thread_dcs[thread_index %
                                             config.thread_dcs.size()];
-  txn::TransactionClient* client =
-      ctx->cluster->CreateClient(home, config.client);
+  txn::Session session = ctx->cluster->CreateSession(home, config.client);
   Generator generator(config.workload, seed);
 
   co_await sim::SleepFor(sim, config.stagger * thread_index);
@@ -176,7 +176,7 @@ sim::Task RunThread(RunContext* ctx, int thread_index, int txns,
       co_await sim::SleepFor(sim, next_start - sim->Now());
     }
     next_start += interarrival;  // open loop: schedule does not drift
-    co_await RunOneTxn(ctx, client, &generator);
+    co_await RunOneTxn(ctx, &session, &generator);
   }
   ++ctx->threads_done;
 }

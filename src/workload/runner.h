@@ -54,6 +54,9 @@ struct WindowCounts {
   int aborted = 0;      // lost to a conflicting transaction
   int unavailable = 0;  // protocol could not complete (outage / no quorum)
 
+  /// Fraction of attempted transactions that committed, read-only commits
+  /// included (a commit is a commit). This is the repo-wide definition —
+  /// RunStats::CommitRate() uses the same one.
   double CommitRate() const {
     return attempted == 0
                ? 0
@@ -100,7 +103,17 @@ struct RunStats {
   std::vector<core::ClientOutcome> outcomes;
   core::CheckReport check;
 
+  /// Fraction of attempted transactions that committed, read-only commits
+  /// included — the same definition as WindowCounts::CommitRate(), so
+  /// whole-run and per-window rates are comparable.
   double CommitRate() const {
+    return attempted == 0
+               ? 0
+               : static_cast<double>(committed + read_only) / attempted;
+  }
+  /// Commit rate over read/write transactions only (read-only commits
+  /// never contend, so this isolates what concurrency control did).
+  double ReadWriteCommitRate() const {
     const int rw = attempted - read_only;
     return rw == 0 ? 0 : static_cast<double>(committed) / rw;
   }

@@ -103,9 +103,12 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
   runner.availability_window = 2 * kSecond;  // exercise window accounting
   result.stats = workload::RunExperiment(&cluster, runner);
 
-  // Classify unknown outcomes (crashed/timed-out clients): the checker
-  // accepts either fate; the sweep additionally proves both fates are
-  // actually reached.
+  // Classify unknown outcomes (txn::TxnOutcome::kUnknownOutcome — clients
+  // that crashed/timed out mid-commit, recorded by the runner via
+  // ClassifyCommit): the checker accepts either fate; the sweep
+  // additionally proves both fates are actually reached. This is also why
+  // Session::RunTransaction never retries kUnknownOutcome — the
+  // in-log fate below would become a double commit.
   std::map<LogPos, wal::LogEntry> global_log;
   core::Checker checker(&cluster);
   (void)checker.CheckReplication(runner.workload.group, &global_log);

@@ -47,6 +47,39 @@ TEST(SerializabilityCheckerTest, FlagsStaleRead) {
   EXPECT_FALSE(report.ok);
 }
 
+TEST(SerializabilityCheckerTest, FlagsPhantomPastWholeRowRead) {
+  // t2 read the whole row at snapshot 0 (predicate read, Txn::ReadRow)
+  // and committed at position 2, but t1 created attribute "b" at
+  // position 1 — an attribute t2 observed as absent changed behind its
+  // back (the phantom class the runtime's whole-row conflict rule must
+  // prevent; the checker must see through it independently).
+  std::map<LogPos, wal::LogEntry> log;
+  const TxnId t1 = MakeTxnId(0, 1), t2 = MakeTxnId(1, 1);
+  log[1].txns.push_back(Record(t1, 0, {}, {{"b", "created"}}));
+  log[2].txns.push_back(Record(
+      t2, 0, {wal::ReadRecord{{"r", wal::kWholeRowAttribute}, 0, 0}},
+      {{"c", "derived"}}));
+  CheckReport report;
+  Checker::CheckOneCopySerializability(log, &report);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(SerializabilityCheckerTest, AcceptsWholeRowReadOfFreshSnapshot) {
+  // Same shape, but t2's snapshot (read_pos 1) already includes t1's
+  // write: the predicate read is satisfied.
+  std::map<LogPos, wal::LogEntry> log;
+  const TxnId t1 = MakeTxnId(0, 1), t2 = MakeTxnId(1, 1);
+  log[1].txns.push_back(Record(t1, 0, {}, {{"b", "created"}}));
+  log[2].txns.push_back(Record(
+      t2, 1,
+      {wal::ReadRecord{{"r", wal::kWholeRowAttribute}, 0, 0},
+       Read("b", t1, 1)},
+      {{"c", "derived"}}));
+  CheckReport report;
+  Checker::CheckOneCopySerializability(log, &report);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
 TEST(SerializabilityCheckerTest, AcceptsLegalCombinedEntry) {
   // Two txns share position 1; the second does not read anything the first
   // wrote.

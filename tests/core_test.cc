@@ -5,7 +5,7 @@
 #include "core/cluster.h"
 #include "core/config.h"
 #include "sim/coro.h"
-#include "txn/client.h"
+#include "txn/txn.h"
 
 namespace paxoscp::core {
 namespace {
@@ -104,11 +104,12 @@ TEST(ClusterTest, LoadInitialRowReachesEveryReplica) {
   }
 }
 
-sim::Task CommitN(txn::TransactionClient* client, int n, int* committed) {
+sim::Task CommitN(txn::Session* session, int n, int* committed) {
   for (int i = 0; i < n; ++i) {
-    if (!(co_await client->Begin("g")).ok()) continue;
-    (void)client->Write("g", "r", "a", std::to_string(i));
-    txn::CommitResult result = co_await client->Commit("g");
+    txn::Txn txn = co_await session->Begin("g");
+    if (!txn.active()) continue;
+    (void)txn.Write("r", "a", std::to_string(i));
+    txn::CommitResult result = co_await txn.Commit();
     if (result.committed) ++*committed;
   }
 }
@@ -120,9 +121,9 @@ TEST(ClusterTest, VersionGarbageCollectionPreservesWatermarkSnapshot) {
   config.seed = 4;
   Cluster cluster(config);
   ASSERT_TRUE(cluster.LoadInitialRow("g", "r", {{"a", "0"}}).ok());
-  txn::TransactionClient* client = cluster.CreateClient(0, {});
+  txn::Session session = cluster.CreateSession(0);
   int committed = 0;
-  CommitN(client, 10, &committed);
+  CommitN(&session, 10, &committed);
   cluster.RunToCompletion();
   ASSERT_EQ(committed, 10);
 
@@ -149,19 +150,19 @@ TEST(ClusterTest, ClientsGetUniqueTxnIds) {
   config.seed = 4;
   Cluster cluster(config);
   ASSERT_TRUE(cluster.LoadInitialRow("g", "r", {{"a", "0"}}).ok());
-  txn::TransactionClient* c1 = cluster.CreateClient(0, {});
-  txn::TransactionClient* c2 = cluster.CreateClient(0, {});  // same DC
+  txn::Session s1 = cluster.CreateSession(0);
+  txn::Session s2 = cluster.CreateSession(0);  // same DC
 
   struct {
-    sim::Task operator()(txn::TransactionClient* c, TxnId* id) {
-      (void)co_await c->Begin("g");
-      *id = c->ActiveTxnId("g");
-      (void)c->Abort("g");
+    sim::Task operator()(txn::Session* s, TxnId* id) {
+      txn::Txn txn = co_await s->Begin("g");
+      *id = txn.id();
+      txn.Abort();
     }
   } grab;
   TxnId id1 = 0, id2 = 0;
-  grab(c1, &id1);
-  grab(c2, &id2);
+  grab(&s1, &id1);
+  grab(&s2, &id2);
   cluster.RunToCompletion();
   EXPECT_NE(id1, 0u);
   EXPECT_NE(id2, 0u);

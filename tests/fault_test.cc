@@ -14,7 +14,7 @@
 #include "fault/injector.h"
 #include "net/network.h"
 #include "sim/coro.h"
-#include "txn/client.h"
+#include "txn/txn.h"
 #include "workload/runner.h"
 
 namespace paxoscp::fault {
@@ -214,21 +214,21 @@ TEST(FaultInjectorTest, AppliesEventsAtScheduledTimes) {
   EXPECT_EQ(injector.events_applied(), 6);
 }
 
-sim::Task CommitOne(txn::TransactionClient* client, int value,
-                    bool* committed) {
-  if (!(co_await client->Begin("g")).ok()) co_return;
-  (void)client->Write("g", "r", "a", std::to_string(value));
-  txn::CommitResult result = co_await client->Commit("g");
+sim::Task CommitOne(txn::Session* session, int value, bool* committed) {
+  txn::Txn txn = co_await session->Begin("g");
+  if (!txn.active()) co_return;
+  (void)txn.Write("r", "a", std::to_string(value));
+  txn::CommitResult result = co_await txn.Commit();
   *committed = result.committed;
 }
 
 TEST(ServiceRestartTest, RestartRecoversDurableStateFromTheStore) {
   core::Cluster cluster(*core::ClusterConfig::FromCode("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow("g", "r", {{"a", "0"}}).ok());
-  txn::TransactionClient* client = cluster.CreateClient(0, {});
+  txn::Session session = cluster.CreateSession(0);
 
   bool first = false;
-  CommitOne(client, 1, &first);
+  CommitOne(&session, 1, &first);
   cluster.RunToCompletion();
   ASSERT_TRUE(first);
   const LogPos decided_before =
@@ -246,7 +246,7 @@ TEST(ServiceRestartTest, RestartRecoversDurableStateFromTheStore) {
 
   // And the cluster keeps committing through the restarted services.
   bool second = false;
-  CommitOne(client, 2, &second);
+  CommitOne(&session, 2, &second);
   cluster.RunToCompletion();
   EXPECT_TRUE(second);
 

@@ -8,7 +8,7 @@
 #include "core/checker.h"
 #include "core/cluster.h"
 #include "sim/coro.h"
-#include "txn/client.h"
+#include "txn/txn.h"
 
 namespace paxoscp {
 namespace {
@@ -19,7 +19,8 @@ using core::ClusterConfig;
 using txn::ClientOptions;
 using txn::CommitResult;
 using txn::Protocol;
-using txn::TransactionClient;
+using txn::Session;
+using txn::Txn;
 
 constexpr char kGroup[] = "g";
 constexpr char kRow[] = "r";
@@ -38,47 +39,46 @@ ClientOptions OptionsFor(Protocol protocol) {
 
 /// Runs one read-modify-write transaction: reads `read_attr`, writes
 /// `write_attr` = `value`, commits; stores the outcome.
-sim::Task RunSimpleTxn(TransactionClient* client, std::string read_attr,
+sim::Task RunSimpleTxn(Session* session, std::string read_attr,
                        std::string write_attr, std::string value,
                        CommitResult* out) {
-  Status begin = co_await client->Begin(kGroup);
-  if (!begin.ok()) {
-    out->status = begin;
+  Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) {
+    out->status = txn.begin_status();
     co_return;
   }
   if (!read_attr.empty()) {
-    Result<std::string> r = co_await client->Read(kGroup, kRow, read_attr);
+    Result<std::string> r = co_await txn.Read(kRow, read_attr);
     if (!r.ok()) {
       out->status = r.status();
-      co_return;
+      co_return;  // handle drop aborts
     }
   }
   if (!write_attr.empty()) {
-    (void)client->Write(kGroup, kRow, write_attr, value);
+    (void)txn.Write(kRow, write_attr, value);
   }
-  *out = co_await client->Commit(kGroup);
+  *out = co_await txn.Commit();
 }
 
 /// Reads a single attribute in a fresh transaction.
-sim::Task ReadAttr(TransactionClient* client, std::string attr,
+sim::Task ReadAttr(Session* session, std::string attr,
                    Result<std::string>* out) {
-  Status begin = co_await client->Begin(kGroup);
-  if (!begin.ok()) {
-    *out = begin;
+  Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) {
+    *out = txn.begin_status();
     co_return;
   }
-  *out = co_await client->Read(kGroup, kRow, attr);
-  (void)co_await client->Commit(kGroup);
+  *out = co_await txn.Read(kRow, attr);
+  (void)co_await txn.Commit();
 }
 
 TEST(IntegrationTest, SingleTransactionCommits) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
 
   CommitResult result;
-  RunSimpleTxn(client, "a", "a", "1", &result);
+  RunSimpleTxn(&client, "a", "a", "1", &result);
   cluster.RunToCompletion();
 
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
@@ -94,17 +94,15 @@ TEST(IntegrationTest, SingleTransactionCommits) {
 TEST(IntegrationTest, CommittedWriteVisibleToLaterTransaction) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "init"}}).ok());
-  TransactionClient* writer =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session writer = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   CommitResult wr;
-  RunSimpleTxn(writer, "", "a", "updated", &wr);
+  RunSimpleTxn(&writer, "", "a", "updated", &wr);
   cluster.RunToCompletion();
   ASSERT_TRUE(wr.committed);
 
-  TransactionClient* reader =
-      cluster.CreateClient(1, OptionsFor(Protocol::kPaxosCP));
+  Session reader = cluster.CreateSession(1, OptionsFor(Protocol::kPaxosCP));
   Result<std::string> read = Status::Internal("unset");
-  ReadAttr(reader, "a", &read);
+  ReadAttr(&reader, "a", &read);
   cluster.RunToCompletion();
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(*read, "updated");
@@ -113,10 +111,9 @@ TEST(IntegrationTest, CommittedWriteVisibleToLaterTransaction) {
 TEST(IntegrationTest, ReadOnlyTransactionCommitsWithoutLogEntry) {
   Cluster cluster(TestConfig("VV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   CommitResult result;
-  RunSimpleTxn(client, "a", "", "", &result);
+  RunSimpleTxn(&client, "a", "", "", &result);
   cluster.RunToCompletion();
   EXPECT_TRUE(result.committed);
   EXPECT_TRUE(result.read_only);
@@ -126,11 +123,10 @@ TEST(IntegrationTest, ReadOnlyTransactionCommitsWithoutLogEntry) {
 TEST(IntegrationTest, SequentialTransactionsFillConsecutivePositions) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   for (int i = 1; i <= 5; ++i) {
     CommitResult result;
-    RunSimpleTxn(client, "a", "a", std::to_string(i), &result);
+    RunSimpleTxn(&client, "a", "a", std::to_string(i), &result);
     cluster.RunToCompletion();
     ASSERT_TRUE(result.committed) << "txn " << i << ": "
                                   << result.status.ToString();
@@ -147,14 +143,12 @@ TEST(IntegrationTest, ConcurrentNonConflictingTxns_BasicAbortsOne) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(
       cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
-  TransactionClient* c1 =
-      cluster.CreateClient(0, OptionsFor(Protocol::kBasicPaxos));
-  TransactionClient* c2 =
-      cluster.CreateClient(1, OptionsFor(Protocol::kBasicPaxos));
+  Session c1 = cluster.CreateSession(0, OptionsFor(Protocol::kBasicPaxos));
+  Session c2 = cluster.CreateSession(1, OptionsFor(Protocol::kBasicPaxos));
 
   CommitResult r1, r2;
-  RunSimpleTxn(c1, "a", "a", "1", &r1);
-  RunSimpleTxn(c2, "b", "b", "2", &r2);
+  RunSimpleTxn(&c1, "a", "a", "1", &r1);
+  RunSimpleTxn(&c2, "b", "b", "2", &r2);
   cluster.RunToCompletion();
 
   EXPECT_NE(r1.committed, r2.committed)
@@ -171,14 +165,12 @@ TEST(IntegrationTest, ConcurrentNonConflictingTxns_CpCommitsBoth) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(
       cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
-  TransactionClient* c1 =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
-  TransactionClient* c2 =
-      cluster.CreateClient(1, OptionsFor(Protocol::kPaxosCP));
+  Session c1 = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
+  Session c2 = cluster.CreateSession(1, OptionsFor(Protocol::kPaxosCP));
 
   CommitResult r1, r2;
-  RunSimpleTxn(c1, "a", "a", "1", &r1);
-  RunSimpleTxn(c2, "b", "b", "2", &r2);
+  RunSimpleTxn(&c1, "a", "a", "1", &r1);
+  RunSimpleTxn(&c2, "b", "b", "2", &r2);
   cluster.RunToCompletion();
 
   EXPECT_TRUE(r1.committed) << r1.status.ToString();
@@ -194,14 +186,12 @@ TEST(IntegrationTest, ConflictingTxns_CpAbortsReader) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(
       cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
-  TransactionClient* c1 =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
-  TransactionClient* c2 =
-      cluster.CreateClient(1, OptionsFor(Protocol::kPaxosCP));
+  Session c1 = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
+  Session c2 = cluster.CreateSession(1, OptionsFor(Protocol::kPaxosCP));
 
   CommitResult r1, r2;
-  RunSimpleTxn(c1, "b", "a", "1", &r1);  // reads b, writes a
-  RunSimpleTxn(c2, "a", "b", "2", &r2);  // reads a, writes b
+  RunSimpleTxn(&c1, "b", "a", "1", &r1);  // reads b, writes a
+  RunSimpleTxn(&c2, "a", "b", "2", &r2);  // reads a, writes b
   cluster.RunToCompletion();
 
   // Both read the other's write target: whoever loses the position has a
@@ -215,10 +205,9 @@ TEST(IntegrationTest, ConflictingTxns_CpAbortsReader) {
 TEST(IntegrationTest, FiveReplicaCommit) {
   Cluster cluster(TestConfig("VVVOC"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(3, OptionsFor(Protocol::kPaxosCP));  // Oregon
+  Session client = cluster.CreateSession(3, OptionsFor(Protocol::kPaxosCP));  // Oregon
   CommitResult result;
-  RunSimpleTxn(client, "a", "a", "1", &result);
+  RunSimpleTxn(&client, "a", "a", "1", &result);
   cluster.RunToCompletion();
   ASSERT_TRUE(result.committed) << result.status.ToString();
   // Every replica eventually holds the same entry.
@@ -239,10 +228,9 @@ TEST(IntegrationTest, CommitSurvivesMinorityOutage) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
   cluster.SetDatacenterDown(2, true);
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   CommitResult result;
-  RunSimpleTxn(client, "a", "a", "1", &result);
+  RunSimpleTxn(&client, "a", "a", "1", &result);
   cluster.RunToCompletion();
   ASSERT_TRUE(result.committed) << result.status.ToString();
   EXPECT_FALSE(cluster.service(2)->GroupLog(kGroup)->HasEntry(1));
@@ -250,10 +238,9 @@ TEST(IntegrationTest, CommitSurvivesMinorityOutage) {
   // The recovered datacenter serves a consistent read by learning the
   // missing entry from its peers.
   cluster.SetDatacenterDown(2, false);
-  TransactionClient* reader =
-      cluster.CreateClient(2, OptionsFor(Protocol::kPaxosCP));
+  Session reader = cluster.CreateSession(2, OptionsFor(Protocol::kPaxosCP));
   Result<std::string> read = Status::Internal("unset");
-  ReadAttr(reader, "a", &read);
+  ReadAttr(&reader, "a", &read);
   cluster.RunToCompletion();
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   // DC2's log was behind: its own begin may have returned read_pos 0, in
@@ -270,9 +257,9 @@ TEST(IntegrationTest, MajorityOutageBlocksCommit) {
   cluster.SetDatacenterDown(2, true);
   ClientOptions options = OptionsFor(Protocol::kPaxosCP);
   options.max_rounds_per_position = 3;  // keep the test fast
-  TransactionClient* client = cluster.CreateClient(0, options);
+  Session client = cluster.CreateSession(0, options);
   CommitResult result;
-  RunSimpleTxn(client, "a", "a", "1", &result);
+  RunSimpleTxn(&client, "a", "a", "1", &result);
   cluster.RunToCompletion();
   EXPECT_FALSE(result.committed);
   EXPECT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
@@ -288,10 +275,9 @@ TEST(IntegrationTest, ClientFailsOverReadsWhenHomeDown) {
   // home's intra-DC link, which kills client->home-service traffic but not
   // client->remote traffic.
   cluster.SetLinkDown(0, 0, true);
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   Result<std::string> read = Status::Internal("unset");
-  ReadAttr(client, "a", &read);
+  ReadAttr(&client, "a", &read);
   cluster.RunToCompletion();
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(*read, "seed");
@@ -302,12 +288,11 @@ TEST(IntegrationTest, MessageLossStillCommits) {
   config.loss_probability = 0.05;
   Cluster cluster(config);
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kPaxosCP));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kPaxosCP));
   int committed = 0;
   for (int i = 0; i < 10; ++i) {
     CommitResult result;
-    RunSimpleTxn(client, "a", "a", std::to_string(i), &result);
+    RunSimpleTxn(&client, "a", "a", std::to_string(i), &result);
     cluster.RunToCompletion();
     if (result.committed) ++committed;
   }
@@ -328,9 +313,11 @@ TEST(IntegrationTest, BootstrapLeaderRaceIsSafe) {
     ASSERT_TRUE(
         cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}, {"b", "0"}}).ok());
     ClientOptions options = OptionsFor(Protocol::kBasicPaxos);
+    Session s1 = cluster.CreateSession(0, options);
+    Session s2 = cluster.CreateSession(1, options);
     CommitResult r1, r2;
-    RunSimpleTxn(cluster.CreateClient(0, options), "", "a", "1", &r1);
-    RunSimpleTxn(cluster.CreateClient(1, options), "", "b", "2", &r2);
+    RunSimpleTxn(&s1, "", "a", "1", &r1);
+    RunSimpleTxn(&s2, "", "b", "2", &r2);
     cluster.RunToCompletion();
 
     Checker checker(&cluster);
@@ -344,19 +331,18 @@ TEST(IntegrationTest, TwoReplicaClusterNeedsBoth) {
   // With D=2, majority is 2: both must be reachable.
   Cluster cluster(TestConfig("VV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "0"}}).ok());
-  TransactionClient* client =
-      cluster.CreateClient(0, OptionsFor(Protocol::kBasicPaxos));
+  Session client = cluster.CreateSession(0, OptionsFor(Protocol::kBasicPaxos));
   CommitResult result;
-  RunSimpleTxn(client, "a", "a", "1", &result);
+  RunSimpleTxn(&client, "a", "a", "1", &result);
   cluster.RunToCompletion();
   EXPECT_TRUE(result.committed);
 
   cluster.SetDatacenterDown(1, true);
   ClientOptions options = OptionsFor(Protocol::kBasicPaxos);
   options.max_rounds_per_position = 2;
-  TransactionClient* client2 = cluster.CreateClient(0, options);
+  Session client2 = cluster.CreateSession(0, options);
   CommitResult result2;
-  RunSimpleTxn(client2, "a", "a", "2", &result2);
+  RunSimpleTxn(&client2, "a", "a", "2", &result2);
   cluster.RunToCompletion();
   EXPECT_FALSE(result2.committed);
 }

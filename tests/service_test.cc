@@ -6,8 +6,8 @@
 #include "core/checker.h"
 #include "core/cluster.h"
 #include "sim/coro.h"
-#include "txn/client.h"
 #include "txn/service.h"
+#include "txn/txn.h"
 
 namespace paxoscp::txn {
 namespace {
@@ -23,27 +23,37 @@ ClusterConfig TestConfig(const std::string& code, uint64_t seed = 17) {
   return config;
 }
 
-sim::Task CommitWrite(TransactionClient* client, std::string row,
-                      std::string attr, std::string value,
-                      CommitResult* out) {
-  Status begin = co_await client->Begin(kGroup);
-  if (!begin.ok()) {
-    out->status = begin;
+sim::Task CommitWrite(Session* session, std::string row, std::string attr,
+                      std::string value, CommitResult* out) {
+  Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) {
+    out->status = txn.begin_status();
     co_return;
   }
-  (void)client->Write(kGroup, row, attr, value);
-  *out = co_await client->Commit(kGroup);
+  (void)txn.Write(row, attr, value);
+  *out = co_await txn.Commit();
 }
 
-sim::Task ReadOne(TransactionClient* client, std::string row,
-                  std::string attr, Result<std::string>* out) {
-  Status begin = co_await client->Begin(kGroup);
-  if (!begin.ok()) {
-    *out = begin;
+sim::Task ReadOne(Session* session, std::string row, std::string attr,
+                  Result<std::string>* out) {
+  Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) {
+    *out = txn.begin_status();
     co_return;
   }
-  *out = co_await client->Read(kGroup, row, attr);
-  (void)co_await client->Commit(kGroup);
+  *out = co_await txn.Read(row, attr);
+  (void)co_await txn.Commit();
+}
+
+/// Commits `n` sequential writes of "r"/"a" through one session.
+sim::Task CommitWrites(Session* session, int n, int* committed) {
+  for (int i = 0; i < n; ++i) {
+    Txn txn = co_await session->Begin(kGroup);
+    if (!txn.active()) continue;
+    (void)txn.Write("r", "a", std::to_string(i));
+    CommitResult result = co_await txn.Commit();
+    if (result.committed) ++*committed;
+  }
 }
 
 sim::Task DriveLearn(TransactionService* service, LogPos pos, Status* out) {
@@ -56,8 +66,9 @@ TEST(ServiceTest, LearnEntryFetchesDecidedValueFromPeers) {
 
   // Commit while DC 2 is offline: it misses the decision.
   cluster.SetDatacenterDown(2, true);
+  Session session = cluster.CreateSession(0);
   CommitResult commit;
-  CommitWrite(cluster.CreateClient(0, {}), "r", "a", "1", &commit);
+  CommitWrite(&session, "r", "a", "1", &commit);
   cluster.RunToCompletion();
   ASSERT_TRUE(commit.committed);
   ASSERT_FALSE(cluster.service(2)->GroupLog(kGroup)->HasEntry(1));
@@ -78,8 +89,9 @@ TEST(ServiceTest, LearnEntryFetchesDecidedValueFromPeers) {
 TEST(ServiceTest, LearnEntryAlreadyKnownIsFreeNoop) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
+  Session session = cluster.CreateSession(0);
   CommitResult commit;
-  CommitWrite(cluster.CreateClient(0, {}), "r", "a", "1", &commit);
+  CommitWrite(&session, "r", "a", "1", &commit);
   cluster.RunToCompletion();
   ASSERT_TRUE(commit.committed);
 
@@ -106,8 +118,9 @@ TEST(ServiceTest, LearnFailsWithoutQuorum) {
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
   // DC 1 misses the decision...
   cluster.SetDatacenterDown(1, true);
+  Session session = cluster.CreateSession(0);
   CommitResult commit;
-  CommitWrite(cluster.CreateClient(0, {}), "r", "a", "1", &commit);
+  CommitWrite(&session, "r", "a", "1", &commit);
   cluster.RunToCompletion();
   ASSERT_TRUE(commit.committed);
   ASSERT_FALSE(cluster.service(1)->GroupLog(kGroup)->HasEntry(1));
@@ -147,28 +160,31 @@ TEST(ServiceTest, MultiRowTransactionGroup) {
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "row1", {{"a", "1"}}).ok());
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "row2", {{"b", "2"}}).ok());
 
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   struct {
-    sim::Task operator()(TransactionClient* c, CommitResult* out) {
-      (void)co_await c->Begin(kGroup);
-      Result<std::string> a = co_await c->Read(kGroup, "row1", "a");
-      Result<std::string> b = co_await c->Read(kGroup, "row2", "b");
+    sim::Task operator()(Session* s, CommitResult* out) {
+      Txn txn = co_await s->Begin(kGroup);
+      if (!txn.active()) co_return;
+      Result<std::string> a = co_await txn.Read("row1", "a");
+      Result<std::string> b = co_await txn.Read("row2", "b");
       if (!a.ok() || !b.ok()) co_return;
-      (void)c->Write(kGroup, "row1", "a", *b);  // swap the values
-      (void)c->Write(kGroup, "row2", "b", *a);
-      *out = co_await c->Commit(kGroup);
+      (void)txn.Write("row1", "a", *b);  // swap the values
+      (void)txn.Write("row2", "b", *a);
+      *out = co_await txn.Commit();
     }
   } swap_rows;
   CommitResult commit;
-  swap_rows(client, &commit);
+  swap_rows(&session, &commit);
   cluster.RunToCompletion();
   ASSERT_TRUE(commit.committed);
 
   Result<std::string> a = Status::Internal("unset");
   Result<std::string> b = Status::Internal("unset");
-  ReadOne(cluster.CreateClient(1, {}), "row1", "a", &a);
+  Session r1 = cluster.CreateSession(1);
+  ReadOne(&r1, "row1", "a", &a);
   cluster.RunToCompletion();
-  ReadOne(cluster.CreateClient(2, {}), "row2", "b", &b);
+  Session r2 = cluster.CreateSession(2);
+  ReadOne(&r2, "row2", "b", &b);
   cluster.RunToCompletion();
   EXPECT_EQ(*a, "2");
   EXPECT_EQ(*b, "1");
@@ -181,7 +197,8 @@ TEST(ServiceTest, ReadsServedCounterAdvances) {
   Cluster cluster(TestConfig("VV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "x"}}).ok());
   Result<std::string> value = Status::Internal("unset");
-  ReadOne(cluster.CreateClient(0, {}), "r", "a", &value);
+  Session session = cluster.CreateSession(0);
+  ReadOne(&session, "r", "a", &value);
   cluster.RunToCompletion();
   ASSERT_TRUE(value.ok());
   EXPECT_EQ(cluster.service(0)->reads_served(), 1u);
@@ -197,7 +214,8 @@ TEST(ServiceTest, StaleReplicaBeginServesOldSnapshotSafely) {
 
   cluster.SetDatacenterDown(2, true);
   CommitResult first;
-  CommitWrite(cluster.CreateClient(0, {}), "r", "a", "fresh", &first);
+  Session s0 = cluster.CreateSession(0);
+  CommitWrite(&s0, "r", "a", "fresh", &first);
   cluster.RunToCompletion();
   ASSERT_TRUE(first.committed);
   cluster.SetDatacenterDown(2, false);
@@ -205,13 +223,62 @@ TEST(ServiceTest, StaleReplicaBeginServesOldSnapshotSafely) {
   // Client homed at the stale replica writes based on its old snapshot;
   // no read conflict, so CP promotes it to position 2.
   CommitResult second;
-  CommitWrite(cluster.CreateClient(2, {}), "r", "b", "later", &second);
+  Session s2 = cluster.CreateSession(2);
+  CommitWrite(&s2, "r", "b", "later", &second);
   cluster.RunToCompletion();
   EXPECT_TRUE(second.committed) << second.status.ToString();
   EXPECT_GE(second.promotions, 1);
 
   core::Checker checker(&cluster);
   EXPECT_TRUE(checker.CheckAll(kGroup, {}).ok);
+}
+
+// ------------------------------------------------------ background applier
+
+TEST(BackgroundApplierTest, AppliesLogWithoutReads) {
+  Cluster cluster(TestConfig("VVV", 37));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
+  cluster.service(0)->StartBackgroundApplier(200 * kMillisecond);
+  cluster.simulator()->ScheduleAt(30 * kSecond, [&cluster] {
+    cluster.service(0)->StopBackgroundApplier();
+  });
+
+  int committed = 0;
+  Session session = cluster.CreateSession(0);
+  CommitWrites(&session, 5, &committed);
+  cluster.RunToCompletion();
+  ASSERT_EQ(committed, 5);
+
+  // No read ever touched DC 0, yet its data rows are applied.
+  wal::WriteAheadLog* log = cluster.service(0)->GroupLog(kGroup);
+  EXPECT_EQ(log->AppliedThrough(), log->MaxDecided());
+  EXPECT_GT(cluster.service(0)->background_applies(), 0u);
+  wal::ItemRead read = log->ReadItem({"r", "a"}, log->MaxDecided());
+  EXPECT_EQ(read.value, "4");
+}
+
+TEST(BackgroundApplierTest, GarbageCollectsOldVersions) {
+  Cluster cluster(TestConfig("VVV", 41));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
+  cluster.service(0)->StartBackgroundApplier(200 * kMillisecond,
+                                             /*gc_keep_versions=*/2);
+  cluster.simulator()->ScheduleAt(60 * kSecond, [&cluster] {
+    cluster.service(0)->StopBackgroundApplier();
+  });
+
+  int committed = 0;
+  Session session = cluster.CreateSession(0);
+  CommitWrites(&session, 10, &committed);
+  cluster.RunToCompletion();
+  ASSERT_EQ(committed, 10);
+
+  wal::WriteAheadLog* log = cluster.service(0)->GroupLog(kGroup);
+  const std::string data_key = log->DataKey("r");
+  // Initial version + 10 writes = 11 versions without GC; the collector
+  // keeps only the watermark snapshot plus the last two positions.
+  EXPECT_LE(cluster.store(0)->VersionCount(data_key), 4u);
+  // The latest value is intact.
+  EXPECT_EQ(log->ReadItem({"r", "a"}, log->MaxDecided()).value, "9");
 }
 
 }  // namespace

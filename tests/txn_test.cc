@@ -1,6 +1,7 @@
-// Transaction-tier tests: client read semantics (A1/A2), conflict helpers,
+// Transaction-tier tests: handle read semantics (A1/A2), conflict helpers,
 // promotion/abort decisions, and forced protocol interleavings (including
-// the combination scenario that is rare under realistic timing).
+// the combination scenario that is rare under realistic timing). All
+// client access goes through the Session/Txn handle API (txn/txn.h).
 #include <gtest/gtest.h>
 
 #include "core/checker.h"
@@ -8,6 +9,7 @@
 #include "sim/coro.h"
 #include "txn/client.h"
 #include "txn/transaction.h"
+#include "txn/txn.h"
 
 namespace paxoscp::txn {
 namespace {
@@ -74,37 +76,41 @@ TEST(ActiveTxnTest, ToRecordFreezesState) {
   EXPECT_EQ(record.writes[0].value, "v2");
 }
 
-// --------------------------------------------------- client read semantics
+// --------------------------------------------------- handle read semantics
 
 struct ReadProbe {
   Status begin = Status::Internal("unset");
   std::vector<Result<std::string>> values;
+  size_t read_set_size = 0;
   CommitResult commit;
 };
 
-sim::Task ProbeReads(TransactionClient* client,
+sim::Task ProbeReads(Session* session,
                      std::vector<std::pair<std::string, std::string>> script,
                      ReadProbe* out) {
   // script entries: ("read", attr) or ("write", attr) — writes use value
   // "W:<attr>".
-  out->begin = co_await client->Begin(kGroup);
-  if (!out->begin.ok()) co_return;
+  Txn txn = co_await session->Begin(kGroup);
+  out->begin = txn.begin_status();
+  if (!txn.active()) co_return;
   for (auto& [op, attr] : script) {
     if (op == "read") {
-      out->values.push_back(co_await client->Read(kGroup, kRow, attr));
+      out->values.push_back(co_await txn.Read(kRow, attr));
     } else {
-      (void)client->Write(kGroup, kRow, attr, "W:" + attr);
+      (void)txn.Write(kRow, attr, "W:" + attr);
     }
   }
-  out->commit = co_await client->Commit(kGroup);
+  out->read_set_size = txn.read_set_size();
+  out->commit = co_await txn.Commit();
 }
 
-TEST(ClientSemanticsTest, ReadYourOwnWrites_A1) {
+TEST(HandleSemanticsTest, ReadYourOwnWrites_A1) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "old"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   ReadProbe probe;
-  ProbeReads(client, {{"read", "a"}, {"write", "a"}, {"read", "a"}}, &probe);
+  ProbeReads(&session, {{"read", "a"}, {"write", "a"}, {"read", "a"}},
+             &probe);
   cluster.RunToCompletion();
   ASSERT_TRUE(probe.begin.ok());
   ASSERT_EQ(probe.values.size(), 2u);
@@ -113,113 +119,104 @@ TEST(ClientSemanticsTest, ReadYourOwnWrites_A1) {
   EXPECT_TRUE(probe.commit.committed);
 }
 
-TEST(ClientSemanticsTest, OwnWriteReadsDoNotEnterReadSet) {
+TEST(HandleSemanticsTest, OwnWriteReadsDoNotEnterReadSet) {
   // A read satisfied from the write buffer is not a snapshot read and must
   // not create artificial conflicts.
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   ReadProbe probe;
-  sim::Simulator* sim = cluster.simulator();
-  ProbeReads(client, {{"write", "a"}, {"read", "a"}}, &probe);
-  (void)sim;
+  ProbeReads(&session, {{"write", "a"}, {"read", "a"}}, &probe);
   cluster.RunToCompletion();
   EXPECT_TRUE(probe.commit.committed);
+  EXPECT_EQ(probe.read_set_size, 0u);
   // The committed record must contain no reads at all.
   auto entries = cluster.service(0)->GroupLog(kGroup)->AllEntries();
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_TRUE(entries.begin()->second.txns[0].reads.empty());
 }
 
-TEST(ClientSemanticsTest, RepeatedReadsReturnSameSnapshot_A2) {
+TEST(HandleSemanticsTest, RepeatedReadsReturnSameSnapshot_A2) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "v0"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   ReadProbe probe;
-  ProbeReads(client, {{"read", "a"}, {"read", "a"}, {"read", "a"}}, &probe);
+  ProbeReads(&session, {{"read", "a"}, {"read", "a"}, {"read", "a"}},
+             &probe);
   cluster.RunToCompletion();
   for (auto& value : probe.values) {
     ASSERT_TRUE(value.ok());
     EXPECT_EQ(*value, "v0");
   }
   // Only one snapshot read was recorded (and the txn is read-only).
+  EXPECT_EQ(probe.read_set_size, 1u);
   EXPECT_TRUE(probe.commit.read_only);
 }
 
-TEST(ClientSemanticsTest, MissingItemReadsAsEmpty) {
+TEST(HandleSemanticsTest, MissingItemReadsAsEmpty) {
   Cluster cluster(TestConfig("VV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   ReadProbe probe;
-  ProbeReads(client, {{"read", "never_written"}}, &probe);
+  ProbeReads(&session, {{"read", "never_written"}}, &probe);
   cluster.RunToCompletion();
   ASSERT_TRUE(probe.values[0].ok());
   EXPECT_EQ(*probe.values[0], "");
 }
 
-TEST(ClientSemanticsTest, ApiErrorsWithoutActiveTxn) {
-  Cluster cluster(TestConfig("VV"));
-  TransactionClient* client = cluster.CreateClient(0, {});
-  EXPECT_FALSE(client->Write(kGroup, kRow, "a", "v").ok());
-  EXPECT_FALSE(client->Abort(kGroup).ok());
-  EXPECT_FALSE(client->HasActiveTxn(kGroup));
-  EXPECT_EQ(client->ActiveTxnId(kGroup), 0u);
+sim::Task BeginTwice(Session* session, Status* first, Status* second) {
+  Txn one = co_await session->Begin(kGroup);
+  *first = one.begin_status();
+  Txn two = co_await session->Begin(kGroup);
+  *second = two.begin_status();
+  (void)co_await one.Commit();
 }
 
-sim::Task BeginTwice(TransactionClient* client, Status* first,
-                     Status* second) {
-  *first = co_await client->Begin(kGroup);
-  *second = co_await client->Begin(kGroup);
-  (void)co_await client->Commit(kGroup);
-}
-
-TEST(ClientSemanticsTest, OneActiveTxnPerGroup) {
+TEST(HandleSemanticsTest, OneActiveTxnPerGroup) {
   Cluster cluster(TestConfig("VV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   Status first = Status::Internal("unset"), second = first;
-  BeginTwice(client, &first, &second);
+  BeginTwice(&session, &first, &second);
   cluster.RunToCompletion();
   EXPECT_TRUE(first.ok());
   EXPECT_EQ(second.code(), Status::Code::kFailedPrecondition);
 }
 
-TEST(ClientSemanticsTest, AbortDiscardsBufferedState) {
+TEST(HandleSemanticsTest, AbortDiscardsBufferedState) {
   Cluster cluster(TestConfig("VVV"));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, kRow, {{"a", "x"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
   ReadProbe probe;
-  ProbeReads(client, {{"write", "a"}}, &probe);
-  // Abort after the Task finished Begin but before... simpler: commit runs;
-  // verify a separate explicit abort path:
+  ProbeReads(&session, {{"write", "a"}}, &probe);
   cluster.RunToCompletion();
   ASSERT_TRUE(probe.commit.committed);
 
   // Explicit abort: begin, write, abort — nothing reaches the log.
   struct {
-    sim::Task operator()(TransactionClient* c, Cluster* cl) {
-      (void)co_await c->Begin(kGroup);
-      (void)c->Write(kGroup, kRow, "a", "discarded");
-      (void)c->Abort(kGroup);
-      (void)cl;
+    sim::Task operator()(Session* s) {
+      Txn txn = co_await s->Begin(kGroup);
+      (void)txn.Write(kRow, "a", "discarded");
+      txn.Abort();
     }
   } run_abort;
-  run_abort(client, &cluster);
+  run_abort(&session);
   cluster.RunToCompletion();
   EXPECT_EQ(cluster.service(0)->GroupLog(kGroup)->MaxDecided(), 1u);
+  EXPECT_FALSE(session.client()->HasActiveTxn(kGroup));
 }
 
 // ----------------------------------------------- forced interleavings
 
-sim::Task WriteOnlyTxn(TransactionClient* client, std::string attr,
+sim::Task WriteOnlyTxn(Session* session, std::string attr,
                        CommitResult* out) {
-  Status begin = co_await client->Begin(kGroup);
-  if (!begin.ok()) {
-    out->status = begin;
+  Txn txn = co_await session->Begin(kGroup);
+  if (!txn.active()) {
+    out->status = txn.begin_status();
     co_return;
   }
-  (void)client->Write(kGroup, kRow, attr, "W:" + attr);
-  *out = co_await client->Commit(kGroup);
+  (void)txn.Write(kRow, attr, "W:" + attr);
+  *out = co_await txn.Commit();
 }
 
 TEST(InterleavingTest, SimultaneousWriteOnlyTxnsCombineIntoOnePosition) {
@@ -235,12 +232,12 @@ TEST(InterleavingTest, SimultaneousWriteOnlyTxnsCombineIntoOnePosition) {
   ClientOptions options;
   options.protocol = Protocol::kPaxosCP;
   options.leader_optimization = false;
-  TransactionClient* c1 = cluster.CreateClient(0, options);
-  TransactionClient* c2 = cluster.CreateClient(1, options);
+  Session s1 = cluster.CreateSession(0, options);
+  Session s2 = cluster.CreateSession(1, options);
 
   CommitResult r1, r2;
-  WriteOnlyTxn(c1, "a", &r1);
-  WriteOnlyTxn(c2, "b", &r2);
+  WriteOnlyTxn(&s1, "a", &r1);
+  WriteOnlyTxn(&s2, "b", &r2);
   cluster.RunToCompletion();
 
   ASSERT_TRUE(r1.committed) << r1.status.ToString();
@@ -273,10 +270,12 @@ TEST(InterleavingTest, ManySimultaneousClientsAllCommitViaCp) {
   options.protocol = Protocol::kPaxosCP;
   options.leader_optimization = false;
 
+  std::vector<Session> sessions;
+  sessions.reserve(8);
   std::vector<CommitResult> results(8);
   for (int i = 0; i < 8; ++i) {
-    TransactionClient* client = cluster.CreateClient(i % 5, options);
-    WriteOnlyTxn(client, "a" + std::to_string(i), &results[i]);
+    sessions.push_back(cluster.CreateSession(i % 5, options));
+    WriteOnlyTxn(&sessions[i], "a" + std::to_string(i), &results[i]);
   }
   cluster.RunToCompletion();
 
@@ -302,10 +301,12 @@ TEST(InterleavingTest, ManySimultaneousClientsBasicCommitsExactlyOnePerPos) {
   options.protocol = Protocol::kBasicPaxos;
   options.leader_optimization = false;
 
+  std::vector<Session> sessions;
+  sessions.reserve(6);
   std::vector<CommitResult> results(6);
   for (int i = 0; i < 6; ++i) {
-    TransactionClient* client = cluster.CreateClient(i % 3, options);
-    WriteOnlyTxn(client, "a", &results[i]);
+    sessions.push_back(cluster.CreateSession(i % 3, options));
+    WriteOnlyTxn(&sessions[i], "a", &results[i]);
   }
   cluster.RunToCompletion();
 
@@ -328,9 +329,11 @@ TEST(InterleavingTest, PromotionCapZeroBehavesLikeBasicPlusCombination) {
   options.protocol = Protocol::kPaxosCP;
   options.promotion_cap = 0;
 
+  Session s1 = cluster.CreateSession(0, options);
+  Session s2 = cluster.CreateSession(1, options);
   CommitResult r1, r2;
-  WriteOnlyTxn(cluster.CreateClient(0, options), "a", &r1);
-  WriteOnlyTxn(cluster.CreateClient(1, options), "b", &r2);
+  WriteOnlyTxn(&s1, "a", &r1);
+  WriteOnlyTxn(&s2, "b", &r2);
   cluster.RunToCompletion();
   // Without promotion, a loser that was not combined must abort.
   const int committed = (r1.committed ? 1 : 0) + (r2.committed ? 1 : 0);
@@ -345,21 +348,21 @@ TEST(InterleavingTest, MultipleGroupsAreIndependent) {
   Cluster cluster(TestConfig("VVV", 9));
   ASSERT_TRUE(cluster.LoadInitialRow("g1", kRow, {{"a", "0"}}).ok());
   ASSERT_TRUE(cluster.LoadInitialRow("g2", kRow, {{"a", "0"}}).ok());
-  TransactionClient* client = cluster.CreateClient(0, {});
+  Session session = cluster.CreateSession(0);
 
   struct {
-    sim::Task operator()(TransactionClient* c, CommitResult* o1,
-                         CommitResult* o2) {
-      (void)co_await c->Begin("g1");
-      (void)co_await c->Begin("g2");  // concurrent txns on two groups
-      (void)c->Write("g1", kRow, "a", "1");
-      (void)c->Write("g2", kRow, "a", "2");
-      *o1 = co_await c->Commit("g1");
-      *o2 = co_await c->Commit("g2");
+    sim::Task operator()(Session* s, CommitResult* o1, CommitResult* o2) {
+      // One session may hold concurrent transactions on two groups.
+      Txn t1 = co_await s->Begin("g1");
+      Txn t2 = co_await s->Begin("g2");
+      (void)t1.Write(kRow, "a", "1");
+      (void)t2.Write(kRow, "a", "2");
+      *o1 = co_await t1.Commit();
+      *o2 = co_await t2.Commit();
     }
   } run;
   CommitResult r1, r2;
-  run(client, &r1, &r2);
+  run(&session, &r1, &r2);
   cluster.RunToCompletion();
   EXPECT_TRUE(r1.committed);
   EXPECT_TRUE(r2.committed);

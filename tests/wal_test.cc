@@ -114,6 +114,10 @@ TEST(LogEntryTest, ReadsAndWritesHelpers) {
   EXPECT_TRUE(t.Writes(ItemId{"r", "b"}));
   EXPECT_FALSE(t.Writes(ItemId{"r", "a"}));
   EXPECT_FALSE(t.Writes(ItemId{"other_row", "b"}));
+  // A whole-row predicate read (Txn::ReadRow phantom protection) is
+  // covered by any write to that row, and only that row.
+  EXPECT_TRUE(t.Writes(ItemId{"r", kWholeRowAttribute}));
+  EXPECT_FALSE(t.Writes(ItemId{"other_row", kWholeRowAttribute}));
 }
 
 TEST(PadPosTest, LexicographicOrderMatchesNumeric) {

@@ -127,6 +127,36 @@ TEST(RunnerTest, CompletesAndChecksInvariants) {
   EXPECT_GT(stats.messages_sent, 0u);
 }
 
+TEST(RunnerTest, CommitRateDefinitionsAgree) {
+  // Regression for the old inconsistency where RunStats::CommitRate()
+  // excluded read-only commits while WindowCounts::CommitRate() included
+  // them: both now share one definition, (committed + read_only) /
+  // attempted, and the windowed counts must reaggregate to the whole-run
+  // numbers.
+  core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
+  cluster.seed = 13;
+  RunnerConfig config = SmallRun(txn::Protocol::kPaxosCP);
+  config.availability_window = 2 * kSecond;
+  RunStats stats = RunExperiment(cluster, config);
+
+  WindowCounts total;
+  for (const WindowCounts& w : stats.windows) {
+    total.attempted += w.attempted;
+    total.committed += w.committed;
+    total.read_only += w.read_only;
+    total.aborted += w.aborted;
+    total.unavailable += w.unavailable;
+  }
+  EXPECT_EQ(total.attempted, stats.attempted);
+  EXPECT_EQ(total.committed, stats.committed);
+  EXPECT_EQ(total.read_only, stats.read_only);
+  EXPECT_EQ(total.aborted, stats.aborted);
+  EXPECT_EQ(total.unavailable, stats.failed);
+  EXPECT_DOUBLE_EQ(total.CommitRate(), stats.CommitRate());
+  // The read/write-only variant differs whenever read-only commits exist.
+  EXPECT_LE(stats.ReadWriteCommitRate(), 1.0);
+}
+
 TEST(RunnerTest, DeterministicAcrossRuns) {
   core::ClusterConfig cluster = *core::ClusterConfig::FromCode("VVV");
   cluster.seed = 13;
