@@ -1,11 +1,43 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 namespace paxoscp {
+
+namespace {
+
+/// Precomputed bucket upper bounds: 1, 2, 3, 4, 6, 8, 12, 16, ... —
+/// powers of two interleaved with 1.5x values, ~2 buckets per octave up
+/// to ~5e18, the tail padded with INT64_MAX.
+const std::vector<int64_t>& BucketLimits() {
+  static const std::vector<int64_t> kLimits = [] {
+    std::vector<int64_t> limits;
+    int64_t v = 1;
+    while (static_cast<int>(limits.size()) < Histogram::kNumBuckets) {
+      limits.push_back(v);
+      int64_t mid = v + v / 2;
+      if (mid > v &&
+          static_cast<int>(limits.size()) < Histogram::kNumBuckets) {
+        limits.push_back(mid);
+      }
+      if (v > std::numeric_limits<int64_t>::max() / 2) {
+        while (static_cast<int>(limits.size()) < Histogram::kNumBuckets) {
+          limits.push_back(std::numeric_limits<int64_t>::max());
+        }
+        break;
+      }
+      v *= 2;
+    }
+    return limits;
+  }();
+  return kLimits;
+}
+
+}  // namespace
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
 
@@ -22,38 +54,22 @@ int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
 
 int Histogram::BucketFor(int64_t value) {
   if (value <= 0) return 0;
-  // Buckets grow geometrically: bucket i covers (limit(i-1), limit(i)].
-  int i = 0;
-  while (i < kNumBuckets - 1 && BucketLimit(i) < value) ++i;
-  return i;
+  // Bucket i covers (limit(i-1), limit(i)]: the answer is the first limit
+  // >= value. Binary search instead of a linear scan over all 128 limits —
+  // Record() runs once per transaction in the runner and every bench. The
+  // tail is padded with INT64_MAX, so lower_bound always finds a slot.
+  const std::vector<int64_t>& limits = BucketLimits();
+  return static_cast<int>(
+      std::lower_bound(limits.begin(), limits.end(), value) - limits.begin());
 }
 
-int64_t Histogram::BucketLimit(int i) {
-  // 1, 2, 3, 4, 6, 8, 12, 16, ... : powers of two interleaved with 1.5x
-  // values, giving ~2 buckets per octave up to ~5e18.
-  static const std::vector<int64_t>& kLimits = [] {
-    static std::vector<int64_t> limits;
-    int64_t v = 1;
-    while (static_cast<int>(limits.size()) < kNumBuckets) {
-      limits.push_back(v);
-      int64_t mid = v + v / 2;
-      if (mid > v && static_cast<int>(limits.size()) < kNumBuckets) {
-        limits.push_back(mid);
-      }
-      if (v > std::numeric_limits<int64_t>::max() / 2) {
-        while (static_cast<int>(limits.size()) < kNumBuckets) {
-          limits.push_back(std::numeric_limits<int64_t>::max());
-        }
-        break;
-      }
-      v *= 2;
-    }
-    return limits;
-  }();
-  return kLimits[i];
-}
+int64_t Histogram::BucketLimit(int i) { return BucketLimits()[i]; }
 
 void Histogram::Record(int64_t value) {
+  assert(value >= 0 &&
+         "Histogram::Record: negative value (latencies and sizes are "
+         "non-negative); clamped to 0 in release builds");
+  if (value < 0) value = 0;
   buckets_[BucketFor(value)]++;
   count_++;
   min_ = std::min(min_, value);

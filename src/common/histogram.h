@@ -12,6 +12,10 @@ class Histogram {
  public:
   Histogram();
 
+  /// Records a sample. Values are durations/sizes and must be
+  /// non-negative: a negative value is a caller bug — it asserts in debug
+  /// builds and is clamped to 0 in release builds (count/min/max/mean and
+  /// the buckets all see 0, so every statistic stays sign-consistent).
   void Record(int64_t value);
   void Merge(const Histogram& other);
   void Clear();
@@ -28,13 +32,17 @@ class Histogram {
   /// One-line summary: count, mean, p50/p95/p99, max.
   std::string ToString() const;
 
- private:
   static constexpr int kNumBuckets = 128;
-  /// Index of the bucket whose upper bound is the smallest >= value.
+  /// Index of the bucket whose upper bound is the smallest >= value —
+  /// a binary search over the precomputed limits (this sits on the
+  /// per-transaction latency hot path of the runner and every bench).
+  /// Public so the regression test can pin it against the reference
+  /// linear scan.
   static int BucketFor(int64_t value);
   /// Upper bound of bucket i.
   static int64_t BucketLimit(int i);
 
+ private:
   uint64_t count_ = 0;
   int64_t min_ = 0;
   int64_t max_ = 0;

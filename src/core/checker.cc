@@ -55,10 +55,16 @@ CheckReport Checker::CheckReplication(
   report.max_position =
       global_log->empty() ? 0 : global_log->rbegin()->first;
   for (const auto& [pos, entry] : *global_log) {
-    report.committed_txns_in_log += static_cast<int>(entry.txns.size());
-    if (entry.txns.size() > 1) {
+    // Decide records are protocol bookkeeping, not transactions — they
+    // count neither as committed transactions nor toward combination.
+    int real_txns = 0;
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (t.kind != wal::RecordKind::kDecide) ++real_txns;
+    }
+    report.committed_txns_in_log += real_txns;
+    if (real_txns > 1) {
       report.combined_entries++;
-      report.combined_txns += static_cast<int>(entry.txns.size()) - 1;
+      report.combined_txns += real_txns - 1;
     }
   }
   return report;
@@ -67,10 +73,14 @@ CheckReport Checker::CheckReplication(
 void Checker::CheckOutcomes(const std::map<LogPos, wal::LogEntry>& log,
                             const std::vector<ClientOutcome>& outcomes,
                             CheckReport* report) {
-  // Index: txn id -> position(s) in the log.
+  // Index: txn id -> position(s) in the log. Decide records are not
+  // transaction appearances (a cross txn's prepare and its decide share
+  // the id by design).
   std::map<TxnId, std::vector<LogPos>> where;
   for (const auto& [pos, entry] : log) {
-    for (const wal::TxnRecord& t : entry.txns) where[t.id].push_back(pos);
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (t.kind != wal::RecordKind::kDecide) where[t.id].push_back(pos);
+    }
   }
   std::set<TxnId> known;
   for (const ClientOutcome& o : outcomes) {
@@ -129,10 +139,51 @@ struct LastWrite {
   LogPos pos = 0;
 };
 
+/// True when `t`'s reads and writes take part in the serial history:
+/// ordinary records always do; cross-group prepares only with a canonical
+/// commit decision; decide records never (they carry no reads or writes).
+bool Effectful(const wal::TxnRecord& t,
+               const std::map<TxnId, CrossFate>& decisions) {
+  if (t.kind == wal::RecordKind::kData) return true;
+  if (t.kind == wal::RecordKind::kDecide) return false;
+  auto it = decisions.find(t.id);
+  return it != decisions.end() && it->second == CrossFate::kCommitted;
+}
+
 }  // namespace
 
+std::map<TxnId, CrossFate> Checker::ResolveDecisions(
+    const std::map<LogPos, wal::LogEntry>& log) {
+  std::map<TxnId, CrossFate> decisions;
+  // First pass: every prepare starts undecided.
+  for (const auto& [pos, entry] : log) {
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (t.kind == wal::RecordKind::kPrepare) {
+        decisions.emplace(t.id, CrossFate::kUndecided);
+      }
+    }
+  }
+  // Second pass, in log order: the first decide for a transaction wins
+  // (in the commit group that makes it canonical by definition; in a
+  // participant group every decide is a propagated canonical copy).
+  for (const auto& [pos, entry] : log) {
+    for (const wal::TxnRecord& t : entry.txns) {
+      if (t.kind != wal::RecordKind::kDecide) continue;
+      auto [it, inserted] = decisions.emplace(
+          t.id,
+          t.commit_decision ? CrossFate::kCommitted : CrossFate::kAborted);
+      if (!inserted && it->second == CrossFate::kUndecided) {
+        it->second =
+            t.commit_decision ? CrossFate::kCommitted : CrossFate::kAborted;
+      }
+    }
+  }
+  return decisions;
+}
+
 void Checker::CheckOneCopySerializability(
-    const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
+    const std::map<LogPos, wal::LogEntry>& log,
+    const std::map<TxnId, CrossFate>& decisions, CheckReport* report) {
   // Serial order S: entries by position, transactions within an entry in
   // list order. For each transaction, every read must have observed the
   // latest write to that item preceding the transaction in S — that is the
@@ -143,6 +194,7 @@ void Checker::CheckOneCopySerializability(
   std::map<std::string, LogPos> row_last_write;
   for (const auto& [pos, entry] : log) {
     for (const wal::TxnRecord& t : entry.txns) {
+      if (!Effectful(t, decisions)) continue;
       for (const wal::ReadRecord& r : t.reads) {
         if (r.item.attribute == wal::kWholeRowAttribute) {
           // Whole-row predicate read (phantom protection): the reader
@@ -183,55 +235,81 @@ void Checker::CheckOneCopySerializability(
   }
 }
 
-void Checker::CheckSerializationGraph(
-    const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
-  // Build the MVSG over committed transactions. Version order per item is
-  // the serial apply order. Edges:
+namespace {
+
+/// One group's log plus the item namespace its rows live in (groups are
+/// independent keyspaces: "row0" in group A and "row0" in group B are
+/// different items in the global graph).
+struct NamespacedLog {
+  const std::map<LogPos, wal::LogEntry>* log = nullptr;
+  std::string ns;
+};
+
+/// Builds the MVSG over the union of the given logs and reports cycles.
+/// Cross-group transactions appear in several logs under one id, so they
+/// are shared nodes — exactly what stitches the per-group serial orders
+/// into one global graph.
+void CheckMvsgOver(const std::vector<NamespacedLog>& logs,
+                   const std::map<TxnId, CrossFate>& decisions,
+                   CheckReport* report) {
+  // Version order per item is the serial apply order. Edges:
   //   WW: each writer -> the next writer of the same item;
   //   WR: writer -> each reader of its version;
   //   RW: each reader of a version -> the writer of the next version.
-  // One-copy serializability of the log implies this graph, with nodes in
-  // log order, is acyclic.
+  // One-copy serializability of the (global) history implies this graph
+  // is acyclic.
   struct VersionInfo {
     TxnId writer;
     std::vector<TxnId> readers;
   };
-  std::map<wal::ItemId, std::vector<VersionInfo>> versions;
+  struct GlobalItem {
+    std::string ns;
+    wal::ItemId item;
+    bool operator<(const GlobalItem& other) const {
+      if (ns != other.ns) return ns < other.ns;
+      return item < other.item;
+    }
+  };
+  std::map<GlobalItem, std::vector<VersionInfo>> versions;
   std::vector<TxnId> order;
   std::map<TxnId, size_t> index;
 
-  for (const auto& [pos, entry] : log) {
-    for (const wal::TxnRecord& t : entry.txns) {
-      if (index.count(t.id) > 0) continue;  // duplicate flagged elsewhere
-      index[t.id] = order.size();
-      order.push_back(t.id);
-      for (const wal::ReadRecord& r : t.reads) {
-        auto& chain = versions[r.item];
-        if (r.observed_writer == 0) {
-          // Initial version: model as a virtual version 0 at the front.
-          if (chain.empty() || chain.front().writer != 0) {
-            chain.insert(chain.begin(), VersionInfo{0, {}});
-          }
-          chain.front().readers.push_back(t.id);
-        } else {
-          bool found = false;
-          for (VersionInfo& v : chain) {
-            if (v.writer == r.observed_writer) {
-              v.readers.push_back(t.id);
-              found = true;
-              break;
+  for (const NamespacedLog& nl : logs) {
+    for (const auto& [pos, entry] : *nl.log) {
+      for (const wal::TxnRecord& t : entry.txns) {
+        if (!Effectful(t, decisions)) continue;
+        if (index.count(t.id) == 0) {
+          index[t.id] = order.size();
+          order.push_back(t.id);
+        }
+        for (const wal::ReadRecord& r : t.reads) {
+          auto& chain = versions[GlobalItem{nl.ns, r.item}];
+          if (r.observed_writer == 0) {
+            // Initial version: model as a virtual version 0 at the front.
+            if (chain.empty() || chain.front().writer != 0) {
+              chain.insert(chain.begin(), VersionInfo{0, {}});
+            }
+            chain.front().readers.push_back(t.id);
+          } else {
+            bool found = false;
+            for (VersionInfo& v : chain) {
+              if (v.writer == r.observed_writer) {
+                v.readers.push_back(t.id);
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              report->Violation("MVSG: txn " + TxnIdToString(t.id) +
+                                " reads version of " + r.item.ToString() +
+                                " written by unknown txn " +
+                                TxnIdToString(r.observed_writer));
             }
           }
-          if (!found) {
-            report->Violation("MVSG: txn " + TxnIdToString(t.id) +
-                              " reads version of " + r.item.ToString() +
-                              " written by unknown txn " +
-                              TxnIdToString(r.observed_writer));
-          }
         }
-      }
-      for (const wal::WriteRecord& w : t.writes) {
-        versions[w.item].push_back(VersionInfo{t.id, {}});
+        for (const wal::WriteRecord& w : t.writes) {
+          versions[GlobalItem{nl.ns, w.item}].push_back(VersionInfo{t.id, {}});
+        }
       }
     }
   }
@@ -284,13 +362,215 @@ void Checker::CheckSerializationGraph(
   }
 }
 
+}  // namespace
+
+void Checker::CheckSerializationGraph(
+    const std::map<LogPos, wal::LogEntry>& log,
+    const std::map<TxnId, CrossFate>& decisions, CheckReport* report) {
+  CheckMvsgOver({NamespacedLog{&log, ""}}, decisions, report);
+}
+
 CheckReport Checker::CheckAll(const std::string& group,
                               const std::vector<ClientOutcome>& outcomes) {
   std::map<LogPos, wal::LogEntry> log;
   CheckReport report = CheckReplication(group, &log);
   if (!outcomes.empty()) CheckOutcomes(log, outcomes, &report);
-  CheckOneCopySerializability(log, &report);
-  CheckSerializationGraph(log, &report);
+  const std::map<TxnId, CrossFate> decisions = ResolveDecisions(log);
+  CheckOneCopySerializability(log, decisions, &report);
+  CheckSerializationGraph(log, decisions, &report);
+  return report;
+}
+
+CheckReport Checker::CheckAllCross(const std::vector<std::string>& groups,
+                                   const std::vector<ClientOutcome>& outcomes) {
+  CheckReport report;
+  std::map<std::string, std::map<LogPos, wal::LogEntry>> logs;
+  for (const std::string& group : groups) {
+    CheckReport group_report = CheckReplication(group, &logs[group]);
+    for (std::string& v : group_report.violations) {
+      report.Violation("[" + group + "] " + std::move(v));
+    }
+    report.max_position =
+        std::max(report.max_position, group_report.max_position);
+    report.committed_txns_in_log += group_report.committed_txns_in_log;
+    report.combined_entries += group_report.combined_entries;
+    report.combined_txns += group_report.combined_txns;
+  }
+
+  // ---- Cross-group bookkeeping: prepares per transaction per group, and
+  // the canonical fate from each transaction's commit group.
+  struct PrepareSite {
+    std::string group;
+    LogPos pos = 0;
+    size_t entry_index = 0;
+    const wal::TxnRecord* record = nullptr;
+  };
+  std::map<TxnId, std::vector<PrepareSite>> prepares;
+  for (const auto& [group, log] : logs) {
+    for (const auto& [pos, entry] : log) {
+      for (size_t i = 0; i < entry.txns.size(); ++i) {
+        const wal::TxnRecord& t = entry.txns[i];
+        if (t.kind == wal::RecordKind::kPrepare) {
+          prepares[t.id].push_back(PrepareSite{group, pos, i, &t});
+        }
+      }
+    }
+  }
+
+  std::map<TxnId, CrossFate> canonical;
+  for (const auto& [id, sites] : prepares) {
+    const wal::TxnRecord& first = *sites.front().record;
+    // Participant lists must agree across every prepare of the txn.
+    for (const PrepareSite& site : sites) {
+      if (site.record->participants != first.participants ||
+          site.record->cross_ts != first.cross_ts) {
+        report.Violation("cross txn " + TxnIdToString(id) +
+                         " has inconsistent prepare metadata across groups");
+      }
+    }
+    if (first.participants.empty()) {
+      report.Violation("cross txn " + TxnIdToString(id) +
+                       " has an empty participant list");
+      canonical[id] = CrossFate::kAborted;
+      continue;
+    }
+    const std::string& commit_group = first.participants.front();
+    auto cg = logs.find(commit_group);
+    if (cg == logs.end()) {
+      report.Violation("cross txn " + TxnIdToString(id) + " names '" +
+                       commit_group +
+                       "' as commit group, which is not among the checked "
+                       "groups");
+      canonical[id] = CrossFate::kAborted;
+      continue;
+    }
+    // Canonical fate: the first decide record in the commit group's log.
+    CrossFate fate = CrossFate::kUndecided;
+    for (const auto& [pos, entry] : cg->second) {
+      if (const wal::TxnRecord* d = entry.FindDecide(id)) {
+        fate = d->commit_decision ? CrossFate::kCommitted
+                                  : CrossFate::kAborted;
+        break;
+      }
+    }
+    canonical[id] = fate;
+
+    // Atomicity: a committed transaction prepared in *every* participant
+    // group, exactly once per group.
+    if (fate == CrossFate::kCommitted) {
+      for (const std::string& participant : first.participants) {
+        int count = 0;
+        for (const PrepareSite& site : sites) {
+          if (site.group == participant) ++count;
+        }
+        if (count != 1) {
+          report.Violation("atomicity: committed cross txn " +
+                           TxnIdToString(id) + " has " +
+                           std::to_string(count) + " prepares in group '" +
+                           participant + "' (expected 1)");
+        }
+      }
+    }
+    // Prepares only in declared participant groups.
+    for (const PrepareSite& site : sites) {
+      if (std::find(first.participants.begin(), first.participants.end(),
+                    site.group) == first.participants.end()) {
+        report.Violation("cross txn " + TxnIdToString(id) +
+                         " prepared in non-participant group '" + site.group +
+                         "'");
+      }
+    }
+    // Decision consistency: outside the commit group every decide record
+    // must carry the canonical decision (they are propagated copies, and
+    // they are what each group's replicas apply). Inside the commit group
+    // later conflicting decides are legal race artifacts — only the first
+    // counts.
+    for (const auto& [group, log] : logs) {
+      if (group == commit_group) continue;
+      for (const auto& [pos, entry] : log) {
+        for (const wal::TxnRecord& t : entry.txns) {
+          if (t.kind != wal::RecordKind::kDecide || t.id != id) continue;
+          const CrossFate recorded = t.commit_decision
+                                         ? CrossFate::kCommitted
+                                         : CrossFate::kAborted;
+          if (fate == CrossFate::kUndecided || recorded != fate) {
+            report.Violation(
+                "atomicity: decide for cross txn " + TxnIdToString(id) +
+                " in group '" + group + "' at position " +
+                std::to_string(pos) +
+                " disagrees with the commit group's canonical decision");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Shared commit order: committed prepares must appear in every
+  // group's log in increasing (cross_ts, id) order (D8 — this is what
+  // makes the union of the per-group serial orders acyclic).
+  for (const auto& [group, log] : logs) {
+    uint64_t last_ts = 0;
+    TxnId last_id = 0;
+    bool have_last = false;
+    for (const auto& [pos, entry] : log) {
+      for (const wal::TxnRecord& t : entry.txns) {
+        if (t.kind != wal::RecordKind::kPrepare) continue;
+        auto fate = canonical.find(t.id);
+        if (fate == canonical.end() || fate->second != CrossFate::kCommitted) {
+          continue;  // aborted/undecided prepares may be out of order
+        }
+        if (have_last && (t.cross_ts < last_ts ||
+                          (t.cross_ts == last_ts && t.id < last_id))) {
+          report.Violation("commit order: committed cross txn " +
+                           TxnIdToString(t.id) + " at position " +
+                           std::to_string(pos) + " of group '" + group +
+                           "' is ordered before an older committed prepare");
+        }
+        last_ts = t.cross_ts;
+        last_id = t.id;
+        have_last = true;
+      }
+    }
+  }
+
+  // ---- Client-visible fates of cross transactions.
+  for (const ClientOutcome& o : outcomes) {
+    if (o.groups.empty()) continue;
+    auto fate = canonical.find(o.id);
+    const CrossFate f =
+        fate == canonical.end() ? CrossFate::kUndecided : fate->second;
+    if (o.unknown) continue;
+    if (o.committed && f != CrossFate::kCommitted) {
+      report.Violation("(L1) committed cross txn " + TxnIdToString(o.id) +
+                       " is not canonically committed in the log");
+    }
+    if (!o.committed && f == CrossFate::kCommitted) {
+      report.Violation("(L1) aborted cross txn " + TxnIdToString(o.id) +
+                       " is canonically committed in the log");
+    }
+  }
+
+  // ---- Per-group checks with canonical decisions, then the global MVSG.
+  for (const auto& [group, log] : logs) {
+    std::vector<ClientOutcome> group_outcomes;
+    for (const ClientOutcome& o : outcomes) {
+      if (o.groups.empty() && o.group == group) group_outcomes.push_back(o);
+    }
+    CheckReport group_report;
+    if (!group_outcomes.empty()) {
+      CheckOutcomes(log, group_outcomes, &group_report);
+    }
+    CheckOneCopySerializability(log, canonical, &group_report);
+    for (std::string& v : group_report.violations) {
+      report.Violation("[" + group + "] " + std::move(v));
+    }
+  }
+  std::vector<NamespacedLog> namespaced;
+  namespaced.reserve(logs.size());
+  for (const auto& [group, log] : logs) {
+    namespaced.push_back(NamespacedLog{&log, group});
+  }
+  CheckMvsgOver(namespaced, canonical, &report);
   return report;
 }
 

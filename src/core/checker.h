@@ -33,7 +33,16 @@ struct ClientOutcome {
   /// True when the client never learned its outcome (crash / unavailable);
   /// such transactions may legitimately appear in the log or not.
   bool unknown = false;
+  /// Multi-group runs: the group a single-group transaction ran on (empty
+  /// in single-group harnesses, where the checked group is implied).
+  std::string group;
+  /// Cross-group transactions: the participant groups (empty = single).
+  std::vector<std::string> groups;
 };
+
+/// Canonical fate of a cross-group transaction (D8): determined by the
+/// first decide record in its commit group's log.
+enum class CrossFate { kCommitted, kAborted, kUndecided };
 
 struct CheckReport {
   bool ok = true;
@@ -58,6 +67,17 @@ class Checker {
   CheckReport CheckAll(const std::string& group,
                        const std::vector<ClientOutcome>& outcomes);
 
+  /// Full multi-group check (D8): per-group R1/contiguity and decision-
+  /// aware L3 replay, plus the cross-group obligations — atomicity (a
+  /// canonically committed transaction prepared in every participant
+  /// group; no group applies a decision other than the canonical one),
+  /// the shared commit order of committed prepares, and a *global* MVSG
+  /// over the union of all groups (cross transactions are shared nodes;
+  /// the union must be acyclic for one-copy serializability of the whole
+  /// sharded history, not just of each group).
+  CheckReport CheckAllCross(const std::vector<std::string>& groups,
+                            const std::vector<ClientOutcome>& outcomes);
+
   /// (R1) + log contiguity. Also merges all replicas' entries into one
   /// global log (any replica may be missing suffix entries).
   CheckReport CheckReplication(const std::string& group,
@@ -68,13 +88,38 @@ class Checker {
                             const std::vector<ClientOutcome>& outcomes,
                             CheckReport* report);
 
-  /// (L3): serial replay validating every read's observed provenance.
-  static void CheckOneCopySerializability(
-      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report);
+  /// Fate of every cross-group transaction prepared in `log`, resolved
+  /// against that log's decide records (in a participant group all decides
+  /// are canonical copies; in the commit group the first decide wins).
+  static std::map<TxnId, CrossFate> ResolveDecisions(
+      const std::map<LogPos, wal::LogEntry>& log);
 
-  /// MVSG acyclicity (independent validation path).
+  /// (L3): serial replay validating every read's observed provenance.
+  /// `decisions` resolves cross-group prepares: committed prepares take
+  /// effect at their prepare position, aborted/undecided ones are no-ops,
+  /// decide records are never effectful. Single-group histories pass an
+  /// empty map.
+  static void CheckOneCopySerializability(
+      const std::map<LogPos, wal::LogEntry>& log,
+      const std::map<TxnId, CrossFate>& decisions, CheckReport* report);
+
+  /// MVSG acyclicity (independent validation path), same decision
+  /// semantics as the serial replay.
   static void CheckSerializationGraph(
-      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report);
+      const std::map<LogPos, wal::LogEntry>& log,
+      const std::map<TxnId, CrossFate>& decisions, CheckReport* report);
+
+  /// Convenience overloads resolving decisions from the log itself (the
+  /// right thing for a standalone group: its decide records are canonical
+  /// copies). Identical to the old behavior on cross-free histories.
+  static void CheckOneCopySerializability(
+      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
+    CheckOneCopySerializability(log, ResolveDecisions(log), report);
+  }
+  static void CheckSerializationGraph(
+      const std::map<LogPos, wal::LogEntry>& log, CheckReport* report) {
+    CheckSerializationGraph(log, ResolveDecisions(log), report);
+  }
 
  private:
   Cluster* cluster_;

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/checker.h"
 #include "core/cluster.h"
+#include "txn/cross.h"
 #include "txn/txn.h"
 
 namespace paxoscp {
@@ -54,6 +56,14 @@ class Db {
   core::CheckReport Check(const std::string& group) {
     core::Checker checker(&cluster_);
     return checker.CheckAll(group, {});
+  }
+
+  /// Multi-group check (D8): per-group obligations plus cross-group
+  /// atomicity, the shared commit order, and global one-copy
+  /// serializability over the union of the groups' logs.
+  core::CheckReport Check(const std::vector<std::string>& groups) {
+    core::Checker checker(&cluster_);
+    return checker.CheckAllCross(groups, {});
   }
 
  private:

@@ -26,6 +26,10 @@
 
 namespace paxoscp::txn {
 
+class CrossTxn;
+struct CrossTxnState;
+struct CrossCommitResult;
+
 class TransactionClient {
  public:
   /// `client_uid` must be unique among all clients of this datacenter; it
@@ -44,9 +48,19 @@ class TransactionClient {
     return active_groups_.count(group) > 0;
   }
 
+  /// Stateless 2PC recovery (D8): resolves cross-group transaction `id`,
+  /// observed as prepared-but-undecided in `group`, to its canonical
+  /// decision — learning it from the commit group's log, or forcing abort
+  /// by proposing an abort decide there — then propagates the canonical
+  /// decide to every participant. Safe to run concurrently with a live
+  /// coordinator: the lowest-position decide in the commit group always
+  /// wins, and every proposer adopts whatever decide it finds first.
+  sim::Coro<Status> RecoverCrossTxn(std::string group, TxnId id);
+
  private:
   // The handle API is the only caller of the per-transaction operations.
   friend class Txn;
+  friend class CrossTxn;
   friend class Session;
 
   /// Outcome of running the commit protocol for one log position.
@@ -78,8 +92,49 @@ class TransactionClient {
   /// consumed (moved from) by this call.
   sim::Coro<CommitResult> CommitTxn(TxnState* state);
 
+  /// Starts a cross-group transaction (D8): reserves every group's slot,
+  /// begins a leg per group (cross begins return the contiguous frontier
+  /// and the commit-order watermark), and fixes cross_ts above every
+  /// watermark. Requires Protocol::kPaxosCP.
+  sim::Coro<CrossTxn> BeginCrossTxn(std::vector<std::string> groups);
+
+  /// Runs 2PC for the cross-group transaction in `*state` (see
+  /// txn/cross.h for the protocol). Slots are already released.
+  sim::Coro<CrossCommitResult> CommitCrossTxn(CrossTxnState* state);
+
   /// Frees the per-group active slot (commit start, abort, handle drop).
   void ReleaseGroup(const std::string& group);
+
+  /// Outcome of one decide walk (see ProposeDecide).
+  struct DecideOutcome {
+    bool known = false;   // false => walk could not complete
+    bool commit = false;  // the first decide record encountered
+    LogPos pos = 0;
+  };
+
+  /// Walks `group`'s log from `floor`, proposing a decide record
+  /// (commit/abort per `commit`) for transaction `id` at each undecided
+  /// position until one lands — or until an existing decide for `id` is
+  /// encountered, which is then adopted (first decide wins). Decide
+  /// records read nothing, so they promote past any conflict.
+  sim::Coro<DecideOutcome> ProposeDecide(std::string group, LogPos floor,
+                                         TxnId id, bool commit,
+                                         CommitResult* stats);
+
+  /// Merged QueryCross over every reachable datacenter: prepare metadata
+  /// from the first replica that has it, the canonical decision if any
+  /// replica can vouch for one, and the highest safe read position seen
+  /// (the floor recovery decide-walks start from).
+  struct CrossQueryResult {
+    bool has_prepare = false;
+    LogPos prepare_pos = 0;
+    uint64_t cross_ts = 0;
+    std::vector<std::string> participants;
+    bool has_canonical_decision = false;
+    bool decision_commit = false;
+    LogPos safe_pos = 0;
+  };
+  sim::Coro<CrossQueryResult> QueryCrossAll(std::string group, TxnId id);
 
   /// Uniform draw from the client's RNG (Session retry backoff shares the
   /// protocol RNG so a workload run consumes one deterministic stream).

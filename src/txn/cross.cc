@@ -1,0 +1,598 @@
+// Cross-group 2PC over Paxos-CP (design note D8): the CrossTxn handle, the
+// coordinator state machine (TransactionClient::BeginCrossTxn /
+// CommitCrossTxn / ProposeDecide), stateless recovery, and the Session
+// entry points.
+#include "txn/cross.h"
+
+#include <algorithm>
+#include <any>
+#include <utility>
+
+#include "common/logging.h"
+#include "txn/client.h"
+
+namespace paxoscp::txn {
+
+namespace {
+
+Status InertError(const char* op) {
+  return Status::FailedPrecondition(
+      std::string("inert cross-group transaction handle: ") + op +
+      " requires an active transaction");
+}
+
+sim::Coro<Result<std::string>> FailedRead(Status status) {
+  co_return Result<std::string>(std::move(status));
+}
+
+sim::Coro<CrossCommitResult> FailedCommit(Status status) {
+  CrossCommitResult result;
+  result.status = std::move(status);
+  co_return result;
+}
+
+/// Shared commit order of cross-group transactions: (cross_ts, id),
+/// lexicographic. Committed prepares must appear in every participant
+/// log in increasing order of this key.
+bool OrderedAfter(uint64_t ts_a, TxnId id_a, uint64_t ts_b, TxnId id_b) {
+  if (ts_a != ts_b) return ts_a > ts_b;
+  return id_a > id_b;
+}
+
+/// True if `entry` contains a cross prepare (other than `self`) that is
+/// younger than (ordered after) the (ts, id) key — meaning `self` landing
+/// at or after this entry would violate the shared commit order.
+bool HasYoungerPrepare(const wal::LogEntry& entry, uint64_t ts, TxnId id) {
+  for (const wal::TxnRecord& t : entry.txns) {
+    if (t.kind != wal::RecordKind::kPrepare || t.id == id) continue;
+    if (OrderedAfter(t.cross_ts, t.id, ts, id)) return true;
+  }
+  return false;
+}
+
+/// True if, within `entry`, a younger cross prepare precedes `id`'s own
+/// prepare record in list order (combination can order records freely;
+/// a transaction whose record landed behind a younger one must abort).
+bool OwnPrecededByYounger(const wal::LogEntry& entry, uint64_t ts, TxnId id) {
+  for (const wal::TxnRecord& t : entry.txns) {
+    if (t.kind == wal::RecordKind::kPrepare && t.id == id) return false;
+    if (t.kind == wal::RecordKind::kPrepare &&
+        OrderedAfter(t.cross_ts, t.id, ts, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TxnOutcome ClassifyCrossCommit(const CrossCommitResult& result) {
+  if (result.committed) return TxnOutcome::kCommitted;
+  if (result.unknown) return TxnOutcome::kUnknownOutcome;
+  if (result.status.IsAborted()) return TxnOutcome::kConflict;
+  return TxnOutcome::kUnknownOutcome;
+}
+
+// -------------------------------------------------------------- CrossTxn
+
+CrossTxn::CrossTxn(TransactionClient* client,
+                   std::unique_ptr<CrossTxnState> state)
+    : client_(client), state_(std::move(state)), phase_(Phase::kActive) {}
+
+CrossTxn::~CrossTxn() {
+  if (phase_ == Phase::kActive) Release();
+}
+
+CrossTxn::CrossTxn(CrossTxn&& other) noexcept
+    : client_(std::exchange(other.client_, nullptr)),
+      state_(std::move(other.state_)),
+      phase_(std::exchange(other.phase_, Phase::kInert)),
+      begin_status_(std::move(other.begin_status_)) {}
+
+CrossTxn& CrossTxn::operator=(CrossTxn&& other) noexcept {
+  if (this != &other) {
+    if (phase_ == Phase::kActive) Release();
+    client_ = std::exchange(other.client_, nullptr);
+    state_ = std::move(other.state_);
+    phase_ = std::exchange(other.phase_, Phase::kInert);
+    begin_status_ = std::move(other.begin_status_);
+  }
+  return *this;
+}
+
+void CrossTxn::Release() {
+  for (const std::string& group : state_->groups) {
+    client_->ReleaseGroup(group);
+  }
+  state_.reset();
+  phase_ = Phase::kFinished;
+}
+
+bool CrossTxn::Usable(const char* op) const {
+  (void)op;
+  assert(phase_ != Phase::kFinished &&
+         "use of a cross-group transaction handle after Commit/Abort");
+  return phase_ == Phase::kActive;
+}
+
+TxnId CrossTxn::id() const { return active() ? state_->id : 0; }
+
+uint64_t CrossTxn::cross_ts() const { return active() ? state_->cross_ts : 0; }
+
+const std::vector<std::string>& CrossTxn::groups() const {
+  static const std::vector<std::string> kEmpty;
+  return active() ? state_->groups : kEmpty;
+}
+
+LogPos CrossTxn::read_pos(const std::string& group) const {
+  if (!active()) return 0;
+  auto it = state_->legs.find(group);
+  return it == state_->legs.end() ? 0 : it->second.txn.read_pos;
+}
+
+sim::Coro<Result<std::string>> CrossTxn::Read(std::string group,
+                                              std::string row,
+                                              std::string attribute) {
+  if (!Usable("Read")) return FailedRead(InertError("Read"));
+  if (wal::IsReservedAttribute(attribute)) {
+    return FailedRead(wal::ReservedAttributeError());
+  }
+  auto it = state_->legs.find(group);
+  if (it == state_->legs.end()) {
+    return FailedRead(Status::InvalidArgument(
+        "group '" + group + "' is not a participant of this transaction"));
+  }
+  // Forwarded like Txn::Read: the awaitable binds the heap-stable leg
+  // state, never `this`.
+  return client_->ReadItem(&it->second, std::move(row), std::move(attribute));
+}
+
+Status CrossTxn::Write(const std::string& group, const std::string& row,
+                       const std::string& attribute, std::string value) {
+  if (!Usable("Write")) return InertError("Write");
+  if (wal::IsReservedAttribute(attribute)) {
+    return wal::ReservedAttributeError();
+  }
+  auto it = state_->legs.find(group);
+  if (it == state_->legs.end()) {
+    return Status::InvalidArgument(
+        "group '" + group + "' is not a participant of this transaction");
+  }
+  it->second.txn.writes[wal::ItemId{row, attribute}] = std::move(value);
+  return Status::OK();
+}
+
+sim::Coro<CrossCommitResult> CrossTxn::Commit() {
+  if (!Usable("Commit")) return FailedCommit(InertError("Commit"));
+  // Like Txn::Commit: slots open as soon as the protocol starts; the
+  // handle keeps the state alive while the caller awaits.
+  for (const std::string& group : state_->groups) {
+    client_->ReleaseGroup(group);
+  }
+  phase_ = Phase::kFinished;
+  return client_->CommitCrossTxn(state_.get());
+}
+
+void CrossTxn::Abort() {
+  if (phase_ == Phase::kInert) return;
+  assert(phase_ == Phase::kActive &&
+         "Abort of a cross-group transaction handle after Commit/Abort");
+  if (phase_ == Phase::kActive) Release();
+}
+
+// ------------------------------------------------- client: begin + 2PC
+
+sim::Coro<CrossTxn> TransactionClient::BeginCrossTxn(
+    std::vector<std::string> groups) {
+  if (options_.protocol != Protocol::kPaxosCP) {
+    co_return CrossTxn(Status::InvalidArgument(
+        "cross-group transactions require Paxos-CP (promotion drives both "
+        "the prepare walk and the decide walk)"));
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  if (groups.empty()) {
+    co_return CrossTxn(
+        Status::InvalidArgument("cross-group begin needs at least one group"));
+  }
+  for (const std::string& group : groups) {
+    if (active_groups_.count(group) > 0) {
+      co_return CrossTxn(Status::FailedPrecondition(
+          "client already has an active transaction on group '" + group +
+          "'"));
+    }
+  }
+  for (const std::string& group : groups) active_groups_.insert(group);
+
+  auto state = std::make_unique<CrossTxnState>();
+  state->id = MakeTxnId(
+      home_, (static_cast<uint64_t>(client_uid_) << 24) | (next_seq_++));
+  state->groups = std::move(groups);
+  // Commit-order timestamp: start from virtual now, then raise above every
+  // participant's watermark so this transaction sorts after every prepare
+  // already in any prefix it will read under.
+  uint64_t cross_ts = static_cast<uint64_t>(sim_->Now()) + 1;
+
+  for (const std::string& group : state->groups) {
+    ServiceRequest begin_request = BeginRequest{group, /*cross=*/true};
+    net::CallResult result = co_await CallWithFailover(&begin_request);
+    if (!result.status.ok()) {
+      for (const std::string& g : state->groups) active_groups_.erase(g);
+      co_return CrossTxn(result.status);
+    }
+    const auto& response =
+        std::any_cast<const ServiceResponse&>(result.response);
+    const auto& begin = std::get<BeginResponse>(response);
+    TxnState& leg = state->legs[group];
+    leg.txn.group = group;
+    leg.txn.id = state->id;
+    leg.txn.read_pos = begin.read_pos;
+    leg.txn.leader_dc = begin.leader_dc;
+    if (begin.max_cross_ts >= cross_ts) cross_ts = begin.max_cross_ts + 1;
+  }
+  state->cross_ts = cross_ts;
+  co_return CrossTxn(this, std::move(state));
+}
+
+sim::Coro<CrossCommitResult> TransactionClient::CommitCrossTxn(
+    CrossTxnState* state) {
+  CrossCommitResult result;
+  CommitResult scratch;  // per-walk Paxos bookkeeping
+  const TimeMicros start = sim_->Now();
+  const TxnId id = state->id;
+  const uint64_t ts = state->cross_ts;
+
+  // ---- Phase 1: commit a PREPARE record into every participant log.
+  // Sequential in sorted group order (deterministic; the latency cost is
+  // the price of 2PC). Stops at the first conflict or unknown leg.
+  bool conflict = false;
+  bool prepare_unknown = false;
+  bool coordinator_crashed = false;
+  std::string fail_detail;
+  std::vector<std::string> attempted;  // groups where a prepare was proposed
+  // Fault-injection hook (evaluated before the first leg and after each
+  // landed prepare, so partially-prepared crashes — group A prepared,
+  // group B never contacted — are reachable): the coordinator walks away
+  // mid-2PC, leaving no decide anywhere, for recovery to clean up.
+  auto crash_now = [&]() {
+    return options_.crash_after_prepares >= 0 &&
+           static_cast<int>(result.prepare_positions.size()) >=
+               options_.crash_after_prepares;
+  };
+  for (const std::string& group : state->groups) {
+    if (crash_now()) {
+      coordinator_crashed = true;
+      break;
+    }
+    TxnState& leg = state->legs[group];
+    wal::TxnRecord record = leg.txn.ToRecord(home_);
+    record.kind = wal::RecordKind::kPrepare;
+    record.cross_ts = ts;
+    record.participants = state->groups;
+    wal::LogEntry own;
+    own.txns.push_back(record);
+    own.winner_dc = home_;
+
+    attempted.push_back(group);
+    LogPos pos = leg.txn.read_pos + 1;
+    DcId leader = leg.txn.leader_dc;
+    for (;;) {
+      InstanceOutcome outcome =
+          co_await RunInstance(group, pos, &own, leader, &scratch);
+      if (outcome.kind == InstanceOutcome::Kind::kUnavailable) {
+        prepare_unknown = true;
+        fail_detail = "prepare on '" + group + "' reached no quorum";
+        break;
+      }
+      if (outcome.kind == InstanceOutcome::Kind::kWon ||
+          outcome.decided.ContainsTxn(id)) {
+        // Landed (possibly combined into another proposer's entry). A
+        // younger prepare ahead of ours *within* the entry still violates
+        // the shared commit order — the prepare stays in the log but the
+        // transaction must abort (the decide makes it a no-op).
+        if (OwnPrecededByYounger(outcome.decided, ts, id)) {
+          conflict = true;
+          fail_detail = "commit-order violation inside entry " +
+                        std::to_string(pos) + " of '" + group + "'";
+        }
+        result.prepare_positions[group] = pos;
+        break;
+      }
+      // Lost the position. A younger cross prepare already in the log
+      // means landing anywhere later would violate the shared order.
+      if (HasYoungerPrepare(outcome.decided, ts, id)) {
+        conflict = true;
+        fail_detail = "younger cross-group prepare at position " +
+                      std::to_string(pos) + " of '" + group + "'";
+        break;
+      }
+      if (PromotionConflicts(record, outcome.decided)) {
+        conflict = true;
+        fail_detail = "read-write conflict with winner of position " +
+                      std::to_string(pos) + " in '" + group + "'";
+        break;
+      }
+      ++result.promotions;
+      leader = outcome.decided.winner_dc;
+      ++pos;
+    }
+    if (conflict || prepare_unknown) break;
+  }
+  if (!coordinator_crashed && crash_now()) coordinator_crashed = true;
+
+  if (coordinator_crashed) {
+    result.unknown = true;
+    result.prepare_rounds = scratch.prepare_rounds;
+    result.status = Status::Unavailable(
+        "coordinator crashed after " +
+        std::to_string(result.prepare_positions.size()) + " of " +
+        std::to_string(state->groups.size()) + " prepares");
+    result.latency = sim_->Now() - start;
+    co_return result;
+  }
+
+  // ---- Phase 2: commit the DECIDE into the commit group, adopt the
+  // canonical outcome, then propagate it to the other participants.
+  // The decision is commit iff every leg prepared cleanly. On any failure
+  // the coordinator proposes abort — and since nobody else ever proposes
+  // commit, abort is certain even if the decide cannot be delivered now
+  // (recovery will land it).
+  const bool want_commit = !conflict && !prepare_unknown;
+  const std::string& commit_group = state->groups.front();
+  LogPos floor = state->legs[commit_group].txn.read_pos + 1;
+  if (auto it = result.prepare_positions.find(commit_group);
+      it != result.prepare_positions.end()) {
+    floor = it->second + 1;
+  }
+  DecideOutcome decide =
+      co_await ProposeDecide(commit_group, floor, id, want_commit, &scratch);
+
+  result.prepare_rounds = scratch.prepare_rounds;
+  if (!decide.known) {
+    if (want_commit) {
+      // The commit decide may or may not have been decided: truly unknown.
+      result.unknown = true;
+      result.status = Status::Unavailable(
+          "cross-group decide reached no quorum; outcome unknown");
+    } else {
+      result.status =
+          Status::Aborted("cross-group transaction aborted (" + fail_detail +
+                          "); abort decide not yet delivered");
+    }
+    result.latency = sim_->Now() - start;
+    co_return result;
+  }
+  result.decide_pos = decide.pos;
+
+  // Propagate the canonical decision to every group where a prepare was
+  // (or may later be) in the log. Best effort: an unreachable participant
+  // is resolved by recovery against the commit group's canonical decide.
+  for (const std::string& group : attempted) {
+    if (group == commit_group) continue;
+    LogPos gfloor = state->legs[group].txn.read_pos + 1;
+    if (auto it = result.prepare_positions.find(group);
+        it != result.prepare_positions.end()) {
+      gfloor = it->second + 1;
+    }
+    (void)co_await ProposeDecide(group, gfloor, id, decide.commit, &scratch);
+  }
+  result.prepare_rounds = scratch.prepare_rounds;
+
+  if (decide.commit) {
+    result.committed = true;
+    result.status = Status::OK();
+  } else if (want_commit) {
+    // Overruled: a recovery abort reached the commit group's log first.
+    result.status = Status::Aborted(
+        "cross-group transaction aborted by recovery before the commit "
+        "decide landed");
+  } else {
+    result.status =
+        Status::Aborted("cross-group transaction aborted (" + fail_detail +
+                        ")");
+  }
+  result.latency = sim_->Now() - start;
+  co_return result;
+}
+
+sim::Coro<TransactionClient::DecideOutcome> TransactionClient::ProposeDecide(
+    std::string group, LogPos floor, TxnId id, bool commit,
+    CommitResult* stats) {
+  wal::TxnRecord record;
+  record.id = id;
+  record.origin_dc = home_;
+  record.kind = wal::RecordKind::kDecide;
+  record.commit_decision = commit;
+  wal::LogEntry own;
+  own.txns.push_back(record);
+  own.winner_dc = home_;
+
+  DecideOutcome out;
+  LogPos pos = floor;
+  DcId leader = kNoDc;
+  // Decide records read nothing, so they can promote past any entry; the
+  // cap only bounds a runaway walk across a pathologically hot log. It
+  // must comfortably exceed any real log length: recovery's forced-abort
+  // path can floor at position 1 (commit-group prepare hidden by a
+  // partition), and a walk that gives up inside the decided prefix would
+  // leave the pending prepare holding the group's read frontier forever.
+  constexpr int kMaxDecideWalk = 1 << 16;
+  for (int step = 0; step < kMaxDecideWalk; ++step) {
+    InstanceOutcome outcome =
+        co_await RunInstance(group, pos, &own, leader, stats);
+    if (outcome.kind == InstanceOutcome::Kind::kUnavailable) co_return out;
+    // First decide for this transaction in the walk — ours or someone
+    // else's — is the decision (walks start at or below every possible
+    // decide position, so the first one encountered is the lowest).
+    if (const wal::TxnRecord* found = outcome.decided.FindDecide(id)) {
+      out.known = true;
+      out.commit = found->commit_decision;
+      out.pos = pos;
+      co_return out;
+    }
+    leader = outcome.decided.winner_dc;
+    ++pos;
+  }
+  co_return out;
+}
+
+// ------------------------------------------------------------- recovery
+
+sim::Coro<TransactionClient::CrossQueryResult>
+TransactionClient::QueryCrossAll(std::string group, TxnId id) {
+  CrossQueryResult out;
+  for (int dc = 0; dc < network_->num_datacenters(); ++dc) {
+    const std::any payload(ServiceRequest(QueryCrossRequest{group, id}));
+    net::CallResult r = co_await network_->Call(
+        home_, (home_ + dc) % network_->num_datacenters(), payload,
+        options_.rpc_timeout);
+    if (!r.status.ok()) continue;
+    const auto& resp = std::any_cast<const ServiceResponse&>(r.response);
+    const auto& q = std::get<QueryCrossResponse>(resp);
+    if (q.has_prepare && !out.has_prepare) {
+      out.has_prepare = true;
+      out.prepare_pos = q.prepare_pos;
+      out.cross_ts = q.cross_ts;
+      out.participants = q.participants;
+    }
+    if (q.has_decision && q.decision_canonical &&
+        !out.has_canonical_decision) {
+      out.has_canonical_decision = true;
+      out.decision_commit = q.decision_commit;
+    }
+    out.safe_pos = std::max(out.safe_pos, q.safe_pos);
+  }
+  co_return out;
+}
+
+sim::Coro<Status> TransactionClient::RecoverCrossTxn(std::string group,
+                                                     TxnId id) {
+  CommitResult scratch;
+  // 1. Locate the prepare (participant list + commit group). The caller
+  // observed it pending in `group`, so some replica there knows it.
+  CrossQueryResult at_group = co_await QueryCrossAll(group, id);
+  if (!at_group.has_prepare || at_group.participants.empty()) {
+    co_return Status::NotFound("no replica knows the prepare of txn " +
+                               TxnIdToString(id) + " in group '" + group +
+                               "'");
+  }
+  const std::string commit_group = at_group.participants.front();
+
+  // 2. Learn the canonical decision from the commit group — a replica
+  // whose log is contiguous through its decision marker answers
+  // authoritatively. (Plain if/else, not a conditional expression: a
+  // co_await inside a ternary arm is a temporary-across-suspension
+  // hazard under GCC 12 — see the parameter rules in client.h.)
+  CrossQueryResult at_cg;
+  if (commit_group == group) {
+    at_cg = at_group;
+  } else {
+    at_cg = co_await QueryCrossAll(commit_group, id);
+  }
+  bool decision_commit = at_cg.decision_commit;
+
+  // 3. No canonical decision anywhere: force abort by proposing an abort
+  // decide in the commit group. Whatever decide lands lowest wins — if a
+  // slow coordinator's commit decide got there first, the walk adopts it.
+  // The floor must be at or below every possible decide position: after
+  // the commit-group prepare if it landed, else the log's start (the
+  // rare crashed-before-its-first-prepare case).
+  if (!at_cg.has_canonical_decision) {
+    const LogPos cg_floor = at_cg.has_prepare ? at_cg.prepare_pos + 1 : 1;
+    DecideOutcome forced = co_await ProposeDecide(
+        commit_group, cg_floor, id, /*commit=*/false, &scratch);
+    if (!forced.known) {
+      co_return Status::Unavailable(
+          "recovery could not decide txn " + TxnIdToString(id) +
+          " in commit group '" + commit_group + "'");
+    }
+    decision_commit = forced.commit;
+  }
+
+  // 4. Propagate the canonical decision to every other participant —
+  // their own pending prepares unblock on the same decide. Decides in
+  // participant groups are idempotent canonical copies, so the walk may
+  // start from the participant's frontier (its prepare position, else
+  // the safe read position a replica reports) instead of position 1 —
+  // no need to find an existing lower decide, only to land one.
+  for (const std::string& participant : at_group.participants) {
+    if (participant == commit_group) continue;
+    CrossQueryResult at_part;
+    if (participant == group) {
+      at_part = at_group;
+    } else {
+      at_part = co_await QueryCrossAll(participant, id);
+    }
+    LogPos floor = 1;
+    if (at_part.has_prepare) {
+      floor = at_part.prepare_pos + 1;
+    } else if (at_part.safe_pos > 0) {
+      floor = at_part.safe_pos + 1;
+    }
+    DecideOutcome propagated = co_await ProposeDecide(
+        participant, floor, id, decision_commit, &scratch);
+    if (!propagated.known) {
+      co_return Status::Unavailable("recovery could not propagate decide of " +
+                                    TxnIdToString(id) + " to '" +
+                                    participant + "'");
+    }
+  }
+  co_return Status::OK();
+}
+
+// -------------------------------------------------------------- Session
+
+sim::Coro<CrossTxn> Session::FailedBeginCross(Status status) {
+  co_return CrossTxn(std::move(status));
+}
+
+sim::Coro<CrossTxn> Session::BeginCross(std::vector<std::string> groups) {
+  if (client_ == nullptr) {
+    assert(false && "BeginCross on an invalid (default) Session");
+    return FailedBeginCross(Status::FailedPrecondition("invalid session"));
+  }
+  return client_->BeginCrossTxn(std::move(groups));
+}
+
+sim::Coro<CrossTxnResult> Session::RunTransaction(
+    std::vector<std::string> groups, CrossTxnBody body, RetryPolicy retry) {
+  CrossTxnResult result;
+  if (client_ == nullptr) {
+    assert(false && "RunTransaction on an invalid (default) Session");
+    result.attempts = 1;
+    result.status = Status::FailedPrecondition("invalid session");
+    co_return result;
+  }
+  sim::Simulator* sim = client_->simulator();
+  const TimeMicros deadline_at =
+      retry.deadline > 0 ? sim->Now() + retry.deadline : 0;
+  for (;;) {
+    ++result.attempts;
+    CrossTxn txn = co_await client_->BeginCrossTxn(groups);
+    if (!txn.active()) {
+      result.outcome = TxnOutcome::kUnavailable;
+      result.status = txn.begin_status();
+      co_return result;
+    }
+    Status body_status = co_await body(&txn);
+    if (!body_status.ok()) {
+      txn.Abort();
+      result.outcome = TxnOutcome::kUnavailable;
+      result.status = std::move(body_status);
+      co_return result;
+    }
+    result.commit = co_await txn.Commit();
+    result.status = result.commit.status;
+    result.outcome = ClassifyCrossCommit(result.commit);
+    if (result.outcome != TxnOutcome::kConflict) co_return result;
+    if (result.attempts >= retry.max_attempts) co_return result;
+    const TimeMicros backoff =
+        client_->RandomBackoffIn(retry.backoff_min, retry.backoff_max);
+    if (deadline_at != 0 && sim->Now() + backoff >= deadline_at) {
+      co_return result;
+    }
+    co_await sim::SleepFor(sim, backoff);
+  }
+}
+
+}  // namespace paxoscp::txn

@@ -1,0 +1,160 @@
+// Cross-group transactions: two-phase commit layered over the per-group
+// Paxos-CP logs (design note D8; lineage: Spinnaker's key-range sharding
+// across Paxos cohorts, Consus' commit coordination over multiple Paxos
+// groups).
+//
+// A `CrossTxn` spans a fixed set of entity groups. Reads and writes are
+// routed to per-group legs, each with its own read position obtained at
+// `Session::BeginCross`. Commit runs 2PC in which every phase is a
+// replicated log entry:
+//
+//   phase 1  A PREPARE record (the leg's reads + writes + the full
+//            participant list) is committed into each group's log through
+//            the ordinary Paxos-CP protocol — promotion, combination, and
+//            the read-write conflict check all apply unchanged. A decided
+//            prepare's writes are *held back*: the group's applied
+//            watermark and every new read position stay below the prepare
+//            until its fate is known.
+//   phase 2  A DECIDE record (commit iff every group prepared) is
+//            committed into the *commit group* (the first participant in
+//            sorted order) and then propagated to the other participants.
+//            The canonical outcome of the transaction is the lowest-
+//            position decide record in the commit group's log, so the
+//            coordinator is stateless: any party can learn — or, by
+//            proposing an abort decide, force — the outcome through the
+//            existing log machinery, and a crashed coordinator blocks
+//            nothing beyond the log decision itself.
+//
+// Global one-copy serializability needs more than per-group checks: two
+// transactions can interleave in opposite orders in two groups with no
+// per-group conflict (cross-group write skew). Every cross transaction
+// therefore carries a commit-order timestamp `cross_ts` chosen above the
+// watermark of every participant's log prefix, and a prepare aborts if a
+// younger (greater (cross_ts, id)) prepare already sits before it in any
+// group's log — committed prepares appear in every log in one shared
+// order, which makes the union of the per-group serial orders acyclic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/coro.h"
+#include "txn/txn.h"
+
+namespace paxoscp::txn {
+
+/// Result of CrossTxn::Commit. Cross transactions never report read-only:
+/// even a pure-read transaction replicates its prepares (its reads must
+/// occupy one position in every participant's serial order).
+struct CrossCommitResult {
+  /// OK => canonically committed. Aborted => canonically aborted (conflict,
+  /// commit-order violation, or an unreachable participant — all certain:
+  /// the coordinator never proposed commit, or the canonical decide says
+  /// abort). Unavailable with `unknown` => fate not learned.
+  Status status;
+  bool committed = false;
+  /// True when the commit protocol started but the coordinator gave up
+  /// without learning the canonical decision (a retry could commit twice).
+  bool unknown = false;
+  /// Prepare position per group whose prepare was decided.
+  std::map<std::string, LogPos> prepare_positions;
+  /// Position of the canonical decide in the commit group (0 if unknown).
+  LogPos decide_pos = 0;
+  int promotions = 0;      // prepare-walk promotions only (decide walks
+                           // advance positions without counting: decides
+                           // never conflict, so their walk length is not
+                           // a contention signal)
+  int prepare_rounds = 0;  // summed Paxos prepare rounds, all walks
+  TimeMicros latency = 0;
+};
+
+/// Maps a finished cross-group commit onto the shared outcome taxonomy.
+TxnOutcome ClassifyCrossCommit(const CrossCommitResult& result);
+
+/// Client-side state of one active cross-group transaction: one
+/// single-group leg (read position, read set, buffered writes) per
+/// participant. Heap-allocated for the same handle-move stability as
+/// TxnState.
+struct CrossTxnState {
+  TxnId id = 0;
+  /// Commit-order timestamp: strictly above every participant's prepare
+  /// watermark at begin time.
+  uint64_t cross_ts = 0;
+  /// Sorted, unique; front() is the commit group.
+  std::vector<std::string> groups;
+  std::map<std::string, TxnState> legs;
+};
+
+/// Movable RAII handle for one active cross-group transaction, mirroring
+/// `Txn` (txn/txn.h): dropping an active handle aborts it locally, a
+/// moved-from handle is inert, use-after-Commit asserts in debug builds.
+class CrossTxn {
+ public:
+  CrossTxn() = default;
+  ~CrossTxn();
+  CrossTxn(CrossTxn&& other) noexcept;
+  CrossTxn& operator=(CrossTxn&& other) noexcept;
+  CrossTxn(const CrossTxn&) = delete;
+  CrossTxn& operator=(const CrossTxn&) = delete;
+
+  bool active() const { return phase_ == Phase::kActive; }
+  const Status& begin_status() const { return begin_status_; }
+
+  TxnId id() const;
+  uint64_t cross_ts() const;
+  const std::vector<std::string>& groups() const;
+  /// Read position of the leg on `group` (0 if not a participant).
+  LogPos read_pos(const std::string& group) const;
+
+  /// Snapshot read on one participant group (A1/A2 semantics per leg).
+  sim::Coro<Result<std::string>> Read(std::string group, std::string row,
+                                      std::string attribute);
+
+  /// Buffers a write on one participant group.
+  Status Write(const std::string& group, const std::string& row,
+               const std::string& attribute, std::string value);
+
+  /// Runs 2PC over the participant logs. The handle is finished
+  /// afterwards; the returned coroutine must be awaited immediately.
+  sim::Coro<CrossCommitResult> Commit();
+
+  /// Discards the transaction without committing (purely local).
+  void Abort();
+
+ private:
+  friend class TransactionClient;
+  friend class Session;
+
+  enum class Phase { kInert, kActive, kFinished };
+
+  explicit CrossTxn(Status begin_error)
+      : begin_status_(std::move(begin_error)) {}
+  CrossTxn(TransactionClient* client, std::unique_ptr<CrossTxnState> state);
+
+  void Release();
+  bool Usable(const char* op) const;
+
+  TransactionClient* client_ = nullptr;
+  std::unique_ptr<CrossTxnState> state_;
+  Phase phase_ = Phase::kInert;
+  Status begin_status_;
+};
+
+/// Unified result of Session::RunTransaction over a group set.
+struct CrossTxnResult {
+  TxnOutcome outcome = TxnOutcome::kUnavailable;
+  Status status;
+  int attempts = 0;
+  CrossCommitResult commit;
+
+  bool committed() const { return outcome == TxnOutcome::kCommitted; }
+};
+
+// The cross-group body alias (CrossTxnBody) lives in txn/txn.h beside
+// TxnBody so Session can declare both RunTransaction overloads.
+
+}  // namespace paxoscp::txn

@@ -13,6 +13,9 @@ const char* RequestName(const ServiceRequest& request) {
     const char* operator()(const ClaimLeaderRequest&) const {
       return "claim_leader";
     }
+    const char* operator()(const QueryCrossRequest&) const {
+      return "query_cross";
+    }
   };
   return std::visit(Visitor{}, request);
 }

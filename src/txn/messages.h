@@ -24,12 +24,46 @@ namespace paxoscp::txn {
 /// begin(groupKey): fetch the read position (paper transaction protocol
 /// step 1). The response also names the leader for the next log position
 /// (the datacenter that won the last decided entry).
+///
+/// `cross` marks a cross-group begin (D8): the read position is then the
+/// replica's *contiguous* frontier (still held below pending prepares), so
+/// the commit-order watermark returned alongside provably covers every
+/// prepare in the log prefix the transaction will read under.
 struct BeginRequest {
   std::string group;
+  bool cross = false;
 };
 struct BeginResponse {
   LogPos read_pos = 0;
   DcId leader_dc = kNoDc;
+  /// Cross-group begins only: max cross_ts over the cross prepares this
+  /// replica has seen. A new cross transaction picks a cross_ts strictly
+  /// above every participant's watermark, so it sorts after all of them
+  /// (the (cross_ts, id) tie-break only ever arbitrates between
+  /// concurrent transactions that drew the same fresh timestamp).
+  uint64_t max_cross_ts = 0;
+};
+
+/// queryCross(groupKey, txn): cross-group transaction status at one
+/// replica — used by the stateless 2PC recovery path (D8) to locate a
+/// pending transaction's participant list and learn its canonical
+/// decision. `decision_canonical` is true only when the replica's log is
+/// contiguous through the decide position, which makes its (lowest-seen)
+/// decision marker provably the lowest decide in the log.
+struct QueryCrossRequest {
+  std::string group;
+  TxnId txn = 0;
+};
+struct QueryCrossResponse {
+  bool has_prepare = false;
+  LogPos prepare_pos = 0;
+  uint64_t cross_ts = 0;
+  std::vector<std::string> participants;
+  bool has_decision = false;
+  bool decision_commit = false;
+  bool decision_canonical = false;
+  /// The replica's safe read position (floor for recovery decide walks).
+  LogPos safe_pos = 0;
 };
 
 /// read(groupKey, key): snapshot read at the transaction's read position
@@ -103,11 +137,12 @@ struct ClaimLeaderResponse {
 
 using ServiceRequest =
     std::variant<BeginRequest, ReadRequest, ReadRowRequest, PrepareRequest,
-                 AcceptRequest, ApplyRequest, ClaimLeaderRequest>;
+                 AcceptRequest, ApplyRequest, ClaimLeaderRequest,
+                 QueryCrossRequest>;
 using ServiceResponse =
     std::variant<BeginResponse, ReadResponse, ReadRowResponse,
                  PrepareResponse, AcceptResponse, ApplyResponse,
-                 ClaimLeaderResponse>;
+                 ClaimLeaderResponse, QueryCrossResponse>;
 
 /// Human-readable message-type name (for traces and message accounting).
 const char* RequestName(const ServiceRequest& request);

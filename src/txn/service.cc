@@ -69,6 +69,8 @@ sim::Coro<std::any> TransactionService::Handle(DcId from,
     response = co_await HandleApply(r);
   } else if (const auto* r = std::get_if<ClaimLeaderRequest>(&req)) {
     response = co_await HandleClaimLeader(r);
+  } else if (const auto* r = std::get_if<QueryCrossRequest>(&req)) {
+    response = co_await HandleQueryCross(r);
   }
   co_return std::any(std::move(response));
 }
@@ -78,7 +80,19 @@ sim::Coro<ServiceResponse> TransactionService::HandleBegin(
   co_await sim::SleepFor(network_->simulator(), model_.begin);
   GroupState* gs = Group(request->group);
   BeginResponse response;
-  response.read_pos = gs->log.MaxDecided();
+  if (request->cross) {
+    // Cross-group begin (D8): the read position must be covered by the
+    // commit-order watermark, which only sees entries this replica has —
+    // so use the contiguous frontier (and stay below pending prepares).
+    response.read_pos =
+        std::min(gs->log.ContiguousFrontier(), gs->log.SafeReadPos());
+    TxnId max_id = 0;  // watermark id: only used replica-side (NoteCross)
+    gs->log.MaxCrossOrder(&response.max_cross_ts, &max_id);
+  } else {
+    // Single-group path: MaxDecided, held below any prepared-but-undecided
+    // cross-group prepare (identical to MaxDecided when none is pending).
+    response.read_pos = gs->log.SafeReadPos();
+  }
   // Leader for the next position = datacenter of the previous winner. For
   // position 1 of a fresh log there is no previous winner; the leader MUST
   // still be the same at every datacenter (datacenter 0 by convention) —
@@ -164,20 +178,54 @@ sim::Coro<ServiceResponse> TransactionService::HandleClaimLeader(
   co_return ServiceResponse(std::move(response));
 }
 
+sim::Coro<ServiceResponse> TransactionService::HandleQueryCross(
+    const QueryCrossRequest* request) {
+  co_await sim::SleepFor(network_->simulator(), model_.begin);
+  GroupState* gs = Group(request->group);
+  QueryCrossResponse response;
+  const wal::PrepareInfo prep = gs->log.PrepareFor(request->txn);
+  if (prep.known) {
+    response.has_prepare = true;
+    response.prepare_pos = prep.pos;
+    response.cross_ts = prep.cross_ts;
+    response.participants = prep.participants;
+  }
+  const wal::CrossDecision decision = gs->log.DecisionFor(request->txn);
+  if (decision.known) {
+    response.has_decision = true;
+    response.decision_commit = decision.commit;
+    // Canonical = provably the lowest decide in the log: this replica has
+    // every entry up to the decide position, so no lower decide can be
+    // hiding in an entry it has not seen.
+    response.decision_canonical =
+        gs->log.ContiguousFrontier() >= decision.pos;
+  }
+  response.safe_pos = gs->log.SafeReadPos();
+  co_return ServiceResponse(std::move(response));
+}
+
 void TransactionService::StartBackgroundApplier(TimeMicros interval,
                                                 int64_t gc_keep_versions) {
   const bool was_running = applier_interval_ > 0;
   applier_interval_ = interval;
   gc_keep_versions_ = gc_keep_versions;
+  // Only bump the generation when arming a fresh tick chain: re-tuning a
+  // running applier must not orphan its already-queued tick.
   if (!was_running && interval > 0) {
-    network_->simulator()->ScheduleAfter(interval,
-                                         [this] { BackgroundApplyTick(); });
+    const uint64_t generation = ++applier_generation_;
+    network_->simulator()->ScheduleAfter(
+        interval, [this, generation] { BackgroundApplyTick(generation); });
   }
 }
 
-void TransactionService::BackgroundApplyTick() {
+void TransactionService::BackgroundApplyTick(uint64_t generation) {
+  // A tick scheduled before Stop (or before a later Start) is stale: it
+  // must neither apply nor reschedule, or "stopped" appliers would keep
+  // mutating the store during a post-run recovery quiesce.
+  if (generation != applier_generation_ || applier_interval_ <= 0) return;
   for (auto& [group, gs] : groups_) {
-    // Apply as far as contiguous entries allow; gaps are left for the
+    // Apply as far as contiguous entries allow; gaps (and undecided
+    // cross-group prepares, which hold the watermark) are left for the
     // read-path learner (the background process never runs Paxos).
     LogPos missing = 0;
     Status s = gs->log.ApplyThrough(gs->log.MaxDecided(), &missing);
@@ -191,18 +239,44 @@ void TransactionService::BackgroundApplyTick() {
       }
     }
   }
-  if (applier_interval_ > 0) {
-    network_->simulator()->ScheduleAfter(applier_interval_,
-                                         [this] { BackgroundApplyTick(); });
-  }
+  network_->simulator()->ScheduleAfter(
+      applier_interval_,
+      [this, generation] { BackgroundApplyTick(generation); });
 }
 
 sim::Coro<Status> TransactionService::CatchUp(GroupState* gs, LogPos target) {
   for (int step = 0; step < kMaxCatchUpSteps; ++step) {
     LogPos missing = 0;
-    Status s = gs->log.ApplyThrough(target, &missing);
+    TxnId undecided = 0;
+    Status s = gs->log.ApplyThrough(target, &missing, &undecided);
     if (s.ok()) co_return s;
     if (s.code() != Status::Code::kFailedPrecondition) co_return s;
+    if (undecided != 0) {
+      // The watermark is held by a prepared-but-undecided cross-group
+      // transaction at `missing`. Any legally issued read position at or
+      // past the prepare implies a decide record exists at a position
+      // <= target, so learn the gap between the prepare and the target —
+      // the decide is in one of those entries.
+      LogPos to_learn = 0;
+      for (LogPos q = missing + 1; q <= target; ++q) {
+        if (!gs->log.HasEntry(q)) {
+          to_learn = q;
+          break;
+        }
+      }
+      if (to_learn == 0) {
+        // Every entry through the target is present and none decides the
+        // transaction: the position is genuinely undecided — the caller
+        // cannot be served here until 2PC recovery resolves it.
+        co_return Status::Unavailable(
+            "cross-group txn " + TxnIdToString(undecided) +
+            " prepared at position " + std::to_string(missing) +
+            " is undecided");
+      }
+      Status learned = co_await LearnEntry(gs->log.group(), to_learn);
+      if (!learned.ok()) co_return learned;
+      continue;
+    }
     Status learned = co_await LearnEntry(gs->log.group(), missing);
     if (!learned.ok()) co_return learned;
   }

@@ -80,9 +80,14 @@ class TransactionService {
   /// versions older than (applied watermark - gc_keep_versions).
   void StartBackgroundApplier(TimeMicros interval,
                               int64_t gc_keep_versions = -1);
-  /// Stops the periodic applier (its next tick will not reschedule).
-  /// Needed before Simulator::Run() can drain the event queue.
-  void StopBackgroundApplier() { applier_interval_ = 0; }
+  /// Stops the periodic applier immediately: the generation bump turns any
+  /// tick already scheduled on the simulator into a no-op, so no apply or
+  /// GC runs after Stop returns (needed before a post-run recovery quiesce
+  /// can assume the store is no longer mutating underneath it).
+  void StopBackgroundApplier() {
+    applier_interval_ = 0;
+    ++applier_generation_;
+  }
 
  private:
   struct GroupState {
@@ -106,9 +111,13 @@ class TransactionService {
   sim::Coro<ServiceResponse> HandleApply(const ApplyRequest* request);
   sim::Coro<ServiceResponse> HandleClaimLeader(
       const ClaimLeaderRequest* request);
+  sim::Coro<ServiceResponse> HandleQueryCross(const QueryCrossRequest* request);
 
   /// Brings the group's applied watermark up to `target`, learning missing
-  /// entries on the way.
+  /// entries on the way. When the watermark is held by an undecided
+  /// cross-group prepare (D8), the missing piece is the decide record in a
+  /// *later* entry: the learner fills the gap between the prepare and the
+  /// target instead of re-learning the (present) stalled position.
   sim::Coro<Status> CatchUp(GroupState* group_state, LogPos target);
 
   DcId dc_;
@@ -118,12 +127,15 @@ class TransactionService {
   Rng rng_;
   std::map<std::string, std::unique_ptr<GroupState>> groups_;
 
-  void BackgroundApplyTick();
+  void BackgroundApplyTick(uint64_t generation);
 
   uint64_t learn_instances_ = 0;
   uint64_t reads_served_ = 0;
   uint64_t background_applies_ = 0;
   TimeMicros applier_interval_ = 0;
+  /// Bumped by Start/Stop; a tick whose generation no longer matches is
+  /// stale (scheduled before a Stop) and must do nothing.
+  uint64_t applier_generation_ = 0;
   int64_t gc_keep_versions_ = -1;
 };
 

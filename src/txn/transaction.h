@@ -88,6 +88,13 @@ struct ClientOptions {
   /// Safety valve: give up with Unavailable after this many prepare rounds
   /// for a single log position.
   int max_rounds_per_position = 32;
+  /// Fault-injection hook (D8, tests/chaos only): the coordinator of a
+  /// cross-group transaction crashes — abandons the commit, reporting
+  /// kUnknownOutcome, without proposing any decide — once this many
+  /// prepares have been decided. -1 = never. This is how the harness
+  /// creates the "coordinator dies between prepare and decide" window
+  /// that 2PC recovery must close.
+  int crash_after_prepares = -1;
 };
 
 /// True if `txn` reads any item written by a transaction in `winners` — the

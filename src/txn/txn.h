@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -34,6 +35,8 @@ namespace paxoscp::txn {
 
 class TransactionClient;
 class Session;
+class CrossTxn;
+struct CrossTxnResult;
 
 /// Unified transaction-fate taxonomy (paper §2.2/§4 outcomes), collapsing
 /// the old Status / CommitResult::committed / read_only triage:
@@ -199,6 +202,9 @@ struct TxnResult {
 /// error to abort the attempt (body errors are never retried).
 using TxnBody = std::function<sim::Coro<Status>(Txn*)>;
 
+/// Cross-group body (see txn/cross.h for the handle).
+using CrossTxnBody = std::function<sim::Coro<Status>(CrossTxn*)>;
+
 /// Per-application-instance session: wraps a cluster-owned
 /// TransactionClient (see core::Cluster::CreateSession / Db::Session —
 /// the client outlives the session). Lightweight and movable; a session
@@ -227,9 +233,26 @@ class Session {
   sim::Coro<TxnResult> RunTransaction(std::string group, TxnBody body,
                                       RetryPolicy retry = {});
 
+  /// Starts a cross-group transaction spanning `groups` (D8): one leg —
+  /// read position, read set, buffered writes — per group, committed via
+  /// 2PC over the participants' Paxos-CP logs (txn/cross.h). Requires
+  /// Protocol::kPaxosCP; the returned handle is inactive (with
+  /// begin_status() explaining why) if any group's slot is taken, any
+  /// begin failed, or the protocol is wrong.
+  sim::Coro<CrossTxn> BeginCross(std::vector<std::string> groups);
+
+  /// Cross-group overload of the retry combinator: runs `body` over a
+  /// fresh BeginCross(groups) per attempt, retrying conflict aborts
+  /// (including commit-order aborts) under the same policy as the
+  /// single-group overload. kUnknownOutcome is never retried.
+  sim::Coro<CrossTxnResult> RunTransaction(std::vector<std::string> groups,
+                                           CrossTxnBody body,
+                                           RetryPolicy retry = {});
+
  private:
-  /// Immediately-inactive handle for misuse of an invalid session.
+  /// Immediately-inactive handles for misuse of an invalid session.
   static sim::Coro<Txn> FailedBegin(Status status);
+  static sim::Coro<CrossTxn> FailedBeginCross(Status status);
 
   TransactionClient* client_ = nullptr;
 };

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <charconv>
+#include <cstdlib>
 
 #include "common/coding.h"
 
@@ -72,6 +73,15 @@ std::string WriteAheadLog::EntryKey(LogPos pos) const {
 }
 std::string WriteAheadLog::MetaKey() const { return "!logmeta/" + group_; }
 std::string WriteAheadLog::AppliedKey() const { return "!applied/" + group_; }
+std::string WriteAheadLog::PrepareKey(TxnId id) const {
+  return "!xprep/" + group_ + "/" + std::to_string(id);
+}
+std::string WriteAheadLog::PendingKey() const { return "!xpend/" + group_; }
+std::string WriteAheadLog::DecisionKey(TxnId id) const {
+  return "!xdec/" + group_ + "/" + std::to_string(id);
+}
+std::string WriteAheadLog::CrossMaxKey() const { return "!xmax/" + group_; }
+std::string WriteAheadLog::FrontierKey() const { return "!xfront/" + group_; }
 std::string WriteAheadLog::DataKey(const std::string& row) const {
   std::string key;
   key.reserve(2 + group_.size() + 1 + row.size());
@@ -98,7 +108,162 @@ Status WriteAheadLog::SetEntry(LogPos pos, const LogEntry& entry) {
   PAXOSCP_RETURN_IF_ERROR(
       store_->Write(EntryKey(pos), {{kEntryAttr, encoded}}));
   BumpMaxDecided(pos);
+  if (entry.HasCrossRecords()) NoteCrossRecords(pos, entry);
   return Status::OK();
+}
+
+void WriteAheadLog::NoteCrossRecords(LogPos pos, const LogEntry& entry) {
+  for (const TxnRecord& t : entry.txns) {
+    if (t.kind == RecordKind::kPrepare) {
+      std::string groups_encoded;
+      for (const std::string& g : t.participants) {
+        PutLengthPrefixed(&groups_encoded, g);
+      }
+      (void)store_->Write(PrepareKey(t.id),
+                          {{"pos", std::to_string(pos)},
+                           {"ts", std::to_string(t.cross_ts)},
+                           {"groups", std::move(groups_encoded)}});
+      // Commit-order watermark: max (cross_ts, id) over all prepares seen.
+      uint64_t max_ts = 0;
+      TxnId max_id = 0;
+      MaxCrossOrder(&max_ts, &max_id);
+      if (t.cross_ts > max_ts || (t.cross_ts == max_ts && t.id > max_id)) {
+        (void)store_->Write(CrossMaxKey(),
+                            {{"ts", std::to_string(t.cross_ts)},
+                             {"id", std::to_string(t.id)}});
+      }
+      // Pending until a decide is learned. Decides may be learned before
+      // their prepare (out-of-order learning): then the prepare is born
+      // decided and never enters the pending set.
+      if (!DecisionFor(t.id).known) {
+        Result<kvstore::RowVersion> row = store_->Read(PendingKey());
+        kvstore::AttributeMap pending =
+            row.ok() ? *row->attributes : kvstore::AttributeMap{};
+        pending[PadPos(pos) + "/" + std::to_string(t.id)] = "1";
+        (void)store_->Write(PendingKey(), std::move(pending));
+      }
+    } else if (t.kind == RecordKind::kDecide) {
+      CrossDecision existing = DecisionFor(t.id);
+      if (!existing.known || pos < existing.pos) {
+        (void)store_->Write(DecisionKey(t.id),
+                            {{"d", t.commit_decision ? "c" : "a"},
+                             {"pos", std::to_string(pos)}});
+      }
+      PrepareInfo prep = PrepareFor(t.id);
+      if (prep.known) ClearPending(prep.pos, t.id);
+    }
+  }
+  // A prepare arriving after its decide (handled above via the born-decided
+  // branch) leaves no pending entry; a prepare in THIS entry whose decide
+  // was also in this entry cannot happen (decides are proposed only after
+  // the prepare's position is decided).
+}
+
+void WriteAheadLog::ClearPending(LogPos pos, TxnId id) {
+  Result<kvstore::RowVersion> row = store_->Read(PendingKey());
+  if (!row.ok()) return;
+  kvstore::AttributeMap pending = *row->attributes;
+  if (pending.erase(PadPos(pos) + "/" + std::to_string(id)) == 0) return;
+  (void)store_->Write(PendingKey(), std::move(pending));
+}
+
+std::vector<PendingPrepare> WriteAheadLog::PendingPrepares() const {
+  std::vector<PendingPrepare> out;
+  Result<kvstore::RowVersion> row = store_->Read(PendingKey());
+  if (!row.ok()) return out;
+  for (const auto& [name, unused] : *row->attributes) {
+    (void)unused;
+    const size_t slash = name.find('/');
+    if (slash == std::string::npos) continue;
+    PendingPrepare p;
+    p.pos = ParsePos(std::string_view(name).substr(0, slash));
+    p.txn = std::strtoull(name.c_str() + slash + 1, nullptr, 10);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+CrossDecision WriteAheadLog::DecisionFor(TxnId id) const {
+  CrossDecision out;
+  Result<kvstore::RowVersion> row = store_->Read(DecisionKey(id));
+  if (!row.ok()) return out;
+  const kvstore::AttributeMap& attrs = *row->attributes;
+  auto d = attrs.find("d");
+  auto pos = attrs.find("pos");
+  if (d == attrs.end() || pos == attrs.end()) return out;
+  out.known = true;
+  out.commit = d->second == "c";
+  out.pos = ParsePos(pos->second);
+  return out;
+}
+
+PrepareInfo WriteAheadLog::PrepareFor(TxnId id) const {
+  PrepareInfo out;
+  Result<kvstore::RowVersion> row = store_->Read(PrepareKey(id));
+  if (!row.ok()) return out;
+  const kvstore::AttributeMap& attrs = *row->attributes;
+  auto pos = attrs.find("pos");
+  auto ts = attrs.find("ts");
+  auto groups = attrs.find("groups");
+  if (pos == attrs.end() || ts == attrs.end() || groups == attrs.end()) {
+    return out;
+  }
+  out.known = true;
+  out.pos = ParsePos(pos->second);
+  out.cross_ts = std::strtoull(ts->second.c_str(), nullptr, 10);
+  std::string_view encoded = groups->second;
+  std::string_view g;
+  while (GetLengthPrefixed(&encoded, &g)) out.participants.emplace_back(g);
+  return out;
+}
+
+void WriteAheadLog::MaxCrossOrder(uint64_t* ts, TxnId* id) const {
+  *ts = 0;
+  *id = 0;
+  Result<kvstore::RowVersion> row = store_->Read(CrossMaxKey());
+  if (!row.ok()) return;
+  const kvstore::AttributeMap& attrs = *row->attributes;
+  auto ts_it = attrs.find("ts");
+  auto id_it = attrs.find("id");
+  if (ts_it != attrs.end()) {
+    *ts = std::strtoull(ts_it->second.c_str(), nullptr, 10);
+  }
+  if (id_it != attrs.end()) {
+    *id = std::strtoull(id_it->second.c_str(), nullptr, 10);
+  }
+}
+
+LogPos WriteAheadLog::SafeReadPos() const {
+  // One store read: the whole pending set lives in one row whose
+  // attribute order is prepare-position order (this runs on every begin).
+  LogPos pos = MaxDecided();
+  Result<kvstore::RowVersion> row = store_->Read(PendingKey());
+  if (!row.ok() || row->attributes->empty()) return pos;
+  const std::string& oldest = row->attributes->begin()->first;
+  const LogPos pending =
+      ParsePos(std::string_view(oldest).substr(0, oldest.find('/')));
+  if (pending > 0 && pending - 1 < pos) pos = pending - 1;
+  return pos;
+}
+
+LogPos WriteAheadLog::ContiguousFrontier() {
+  LogPos frontier = 0;
+  Result<kvstore::AttrView> stored =
+      store_->ReadAttrView(FrontierKey(), "pos");
+  if (stored.ok()) frontier = ParsePos(stored->value);
+  const LogPos start = frontier;
+  while (HasEntry(frontier + 1)) ++frontier;
+  if (frontier != start) {
+    (void)store_->Write(FrontierKey(), {{"pos", std::to_string(frontier)}});
+  }
+  return frontier;
+}
+
+bool WriteAheadLog::HasAllBetween(LogPos from, LogPos to) const {
+  for (LogPos q = from + 1; q < to; ++q) {
+    if (!HasEntry(q)) return false;
+  }
+  return true;
 }
 
 Result<LogEntry> WriteAheadLog::GetEntry(LogPos pos) const {
@@ -140,7 +305,8 @@ LogPos WriteAheadLog::AppliedThrough() const {
   return ParsePos(v->value);
 }
 
-Status WriteAheadLog::ApplyThrough(LogPos target, LogPos* first_missing) {
+Status WriteAheadLog::ApplyThrough(LogPos target, LogPos* first_missing,
+                                   TxnId* undecided) {
   LogPos applied = AppliedThrough();
   for (LogPos pos = applied + 1; pos <= target; ++pos) {
     Result<LogEntry> entry = GetEntry(pos);
@@ -149,11 +315,33 @@ Status WriteAheadLog::ApplyThrough(LogPos target, LogPos* first_missing) {
       return Status::FailedPrecondition("missing log entry at position " +
                                         std::to_string(pos));
     }
+    // D8: resolve every cross-group prepare in this entry before applying
+    // anything at this position. A decision marker is trusted only when
+    // every position between the prepare and the decide is locally present
+    // (everything below `pos` is — the watermark guarantees it — so no
+    // lower decide can be hiding in an unseen entry).
+    std::map<TxnId, bool> decisions;  // prepare id -> commit?
+    for (const TxnRecord& t : entry->txns) {
+      if (t.kind != RecordKind::kPrepare) continue;
+      const CrossDecision d = DecisionFor(t.id);
+      if (!d.known || (d.pos > pos && !HasAllBetween(pos, d.pos))) {
+        if (first_missing != nullptr) *first_missing = pos;
+        if (undecided != nullptr) *undecided = t.id;
+        return Status::FailedPrecondition(
+            "undecided cross-group prepare at position " +
+            std::to_string(pos));
+      }
+      decisions[t.id] = d.commit;
+    }
     // Merge all writes of the (ordered) transaction list into per-row
     // updates; later transactions overwrite earlier ones, matching the
-    // serial order within the entry.
+    // serial order within the entry. Decide records carry no writes;
+    // abort-decided prepares are no-ops; commit-decided prepares take
+    // effect here, at their prepare position.
     std::map<std::string, kvstore::AttributeMap> row_updates;
     for (const TxnRecord& t : entry->txns) {
+      if (t.kind == RecordKind::kDecide) continue;
+      if (t.kind == RecordKind::kPrepare && !decisions[t.id]) continue;
       for (const WriteRecord& w : t.writes) {
         auto& updates = row_updates[w.item.row];
         updates[w.item.attribute] = w.value;

@@ -33,6 +33,33 @@ struct ItemRead {
   bool found = false;  // false => initial state
 };
 
+/// A cross-group transaction's commit/abort decision as recorded in one
+/// group's log (design note D8). `pos` is the lowest-position decide record
+/// this replica has seen; in the transaction's commit group the lowest
+/// decide in the log is the canonical outcome.
+struct CrossDecision {
+  bool known = false;
+  bool commit = false;
+  LogPos pos = 0;
+};
+
+/// A prepared-but-undecided cross-group transaction in this replica's log:
+/// its writes are held back from the data rows (and the read position is
+/// held below `pos`) until a decide record is learned.
+struct PendingPrepare {
+  LogPos pos = 0;
+  TxnId txn = 0;
+};
+
+/// Prepare-record metadata indexed by transaction id (recovery reads this
+/// to find the participant list and the commit group).
+struct PrepareInfo {
+  bool known = false;
+  LogPos pos = 0;
+  uint64_t cross_ts = 0;
+  std::vector<std::string> participants;
+};
+
 class WriteAheadLog {
  public:
   WriteAheadLog(kvstore::MultiVersionStore* store, std::string group);
@@ -53,6 +80,32 @@ class WriteAheadLog {
   /// the "read position" handed to new transactions (paper step 1).
   LogPos MaxDecided() const;
 
+  /// Read position safe to hand to a new transaction: MaxDecided(), held
+  /// strictly below the oldest prepared-but-undecided cross-group prepare
+  /// (D8: nothing may read at or past a prepare until its fate is known).
+  /// Identical to MaxDecided() when no cross-group prepare is pending.
+  LogPos SafeReadPos() const;
+
+  /// Highest L such that every position 1..L has a local entry (advances
+  /// and persists a marker; cross-group begins use this so the ordering
+  /// marker provably covers the whole prefix a transaction reads under).
+  LogPos ContiguousFrontier();
+
+  /// Prepared-but-undecided cross-group transactions known to this
+  /// replica, ascending by prepare position.
+  std::vector<PendingPrepare> PendingPrepares() const;
+
+  /// Lowest-position decide record seen for cross transaction `id`.
+  CrossDecision DecisionFor(TxnId id) const;
+
+  /// Prepare-record metadata for cross transaction `id`, if this replica
+  /// has its prepare entry.
+  PrepareInfo PrepareFor(TxnId id) const;
+
+  /// Max (cross_ts, id) over every cross-group prepare this replica has
+  /// seen — the commit-order watermark new cross transactions must exceed.
+  void MaxCrossOrder(uint64_t* ts, TxnId* id) const;
+
   /// Highest position whose writes have been applied to the data rows.
   LogPos AppliedThrough() const;
 
@@ -60,7 +113,17 @@ class WriteAheadLog {
   /// Returns FailedPrecondition if this replica has a gap — `first_missing`
   /// (when non-null) receives the first missing position, which the caller
   /// (TransactionService) must learn via Paxos before retrying.
-  Status ApplyThrough(LogPos target, LogPos* first_missing = nullptr);
+  ///
+  /// D8: an entry containing a prepared-but-undecided cross-group record
+  /// holds the applied watermark at the position before it — its writes
+  /// take effect at this position iff the canonical decision is commit,
+  /// so nothing at or beyond it may be applied first. In that case the
+  /// status is FailedPrecondition with `first_missing` = the stalled
+  /// position and `undecided` (when non-null) = the waiting transaction;
+  /// the caller resolves it by learning later entries (which carry the
+  /// decide record) rather than the stalled position itself.
+  Status ApplyThrough(LogPos target, LogPos* first_missing = nullptr,
+                      TxnId* undecided = nullptr);
 
   /// Snapshot read of one item at `read_pos` (requires ApplyThrough has
   /// reached read_pos; the TransactionService guarantees this).
@@ -87,8 +150,30 @@ class WriteAheadLog {
   std::string EntryKey(LogPos pos) const;
   std::string MetaKey() const;
   std::string AppliedKey() const;
+  std::string PrepareKey(TxnId id) const;
+  /// Single row holding the whole pending set: one attribute per
+  /// prepared-but-undecided transaction, named "<padded pos>/<id>" so the
+  /// map's attribute order is prepare-position order. One key per group
+  /// keeps SafeReadPos O(1) in store lookups — it runs on EVERY begin.
+  std::string PendingKey() const;
+  std::string DecisionKey(TxnId id) const;
+  std::string CrossMaxKey() const;
+  std::string FrontierKey() const;
 
   void BumpMaxDecided(LogPos pos);
+
+  /// Maintains the cross-group side tables (prepare index, pending set,
+  /// decision markers, commit-order watermark) for a newly stored entry.
+  void NoteCrossRecords(LogPos pos, const LogEntry& entry);
+
+  /// Removes `id` from the pending set of prepare position `pos` (no-op if
+  /// absent).
+  void ClearPending(LogPos pos, TxnId id);
+
+  /// True when every position in (from, to) has a local entry — makes a
+  /// decision marker at `to` trustworthy for applying a prepare at `from`
+  /// (no lower decide can be hiding in an unseen entry).
+  bool HasAllBetween(LogPos from, LogPos to) const;
 
   kvstore::MultiVersionStore* store_;
   std::string group_;

@@ -22,6 +22,13 @@ bool DecodeItem(std::string_view* in, ItemId* item) {
   return true;
 }
 
+/// First-varsint sentinel selecting the v2 (cross-group) entry encoding.
+/// winner_dc is always a datacenter index (>= 0) or kNoDc (-1), so -2 can
+/// never be mistaken for a v1 winner_dc. Entries without cross records keep
+/// the original v1 layout bit-for-bit — existing logs, fingerprints, and
+/// the byte-identical fig outputs are unaffected.
+constexpr int64_t kCrossFormatMarker = -2;
+
 }  // namespace
 
 bool TxnRecord::Reads(const ItemId& it) const {
@@ -41,11 +48,33 @@ bool TxnRecord::Writes(const ItemId& it) const {
   return false;
 }
 
+bool LogEntry::HasCrossRecords() const {
+  for (const TxnRecord& t : txns) {
+    if (t.kind != RecordKind::kData) return true;
+  }
+  return false;
+}
+
+const TxnRecord* LogEntry::FindDecide(TxnId id) const {
+  for (const TxnRecord& t : txns) {
+    if (t.kind == RecordKind::kDecide && t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+const TxnRecord* LogEntry::FindPrepare(TxnId id) const {
+  for (const TxnRecord& t : txns) {
+    if (t.kind == RecordKind::kPrepare && t.id == id) return &t;
+  }
+  return nullptr;
+}
+
 std::string LogEntry::Encode() const {
   std::string out;
+  const bool v2 = HasCrossRecords();
   // Reserve a close upper bound so appends never reallocate: varints are
   // bounded by kMaxVarint64Bytes and everything else is length-prefixed.
-  size_t bound = 2 * kMaxVarint64Bytes;
+  size_t bound = 3 * kMaxVarint64Bytes;
   for (const TxnRecord& t : txns) {
     bound += 8 + 3 * kMaxVarint64Bytes + 2 * kMaxVarint64Bytes;
     for (const ReadRecord& r : t.reads) {
@@ -56,11 +85,19 @@ std::string LogEntry::Encode() const {
       bound += w.item.row.size() + w.item.attribute.size() + w.value.size() +
                3 * kMaxVarint64Bytes;
     }
+    if (v2) {
+      bound += 4 * kMaxVarint64Bytes;
+      for (const std::string& g : t.participants) {
+        bound += g.size() + kMaxVarint64Bytes;
+      }
+    }
   }
   out.reserve(bound);
+  if (v2) PutVarsint64(&out, kCrossFormatMarker);
   PutVarsint64(&out, winner_dc);
   PutVarint64(&out, txns.size());
   for (const TxnRecord& t : txns) {
+    if (v2) PutVarint64(&out, static_cast<uint64_t>(t.kind));
     PutFixed64(&out, t.id);
     PutVarsint64(&out, t.origin_dc);
     PutVarint64(&out, t.read_pos);
@@ -75,6 +112,14 @@ std::string LogEntry::Encode() const {
       EncodeItem(&out, w.item);
       PutLengthPrefixed(&out, w.value);
     }
+    if (v2 && t.kind == RecordKind::kPrepare) {
+      PutVarint64(&out, t.cross_ts);
+      PutVarint64(&out, t.participants.size());
+      for (const std::string& g : t.participants) PutLengthPrefixed(&out, g);
+    }
+    if (v2 && t.kind == RecordKind::kDecide) {
+      PutVarint64(&out, t.commit_decision ? 1 : 0);
+    }
   }
   return out;
 }
@@ -84,6 +129,13 @@ Result<LogEntry> LogEntry::Decode(std::string_view data) {
   int64_t winner = 0;
   if (!GetVarsint64(&data, &winner)) {
     return Status::Corruption("log entry: bad winner_dc");
+  }
+  bool v2 = false;
+  if (winner == kCrossFormatMarker) {
+    v2 = true;
+    if (!GetVarsint64(&data, &winner)) {
+      return Status::Corruption("log entry: bad winner_dc");
+    }
   }
   entry.winner_dc = static_cast<DcId>(winner);
   uint64_t ntxns = 0;
@@ -95,6 +147,14 @@ Result<LogEntry> LogEntry::Decode(std::string_view data) {
     TxnRecord t;
     int64_t origin = 0;
     uint64_t nreads = 0, nwrites = 0;
+    if (v2) {
+      uint64_t kind = 0;
+      if (!GetVarint64(&data, &kind) ||
+          kind > static_cast<uint64_t>(RecordKind::kDecide)) {
+        return Status::Corruption("log entry: bad record kind");
+      }
+      t.kind = static_cast<RecordKind>(kind);
+    }
     if (!GetFixed64(&data, &t.id) || !GetVarsint64(&data, &origin) ||
         !GetVarint64(&data, &t.read_pos) || !GetVarint64(&data, &nreads)) {
       return Status::Corruption("log entry: bad txn header");
@@ -123,6 +183,27 @@ Result<LogEntry> LogEntry::Decode(std::string_view data) {
       w.value = std::string(value);
       t.writes.push_back(std::move(w));
     }
+    if (v2 && t.kind == RecordKind::kPrepare) {
+      uint64_t ngroups = 0;
+      if (!GetVarint64(&data, &t.cross_ts) || !GetVarint64(&data, &ngroups)) {
+        return Status::Corruption("log entry: bad prepare record");
+      }
+      t.participants.reserve(ngroups);
+      for (uint64_t j = 0; j < ngroups; ++j) {
+        std::string_view g;
+        if (!GetLengthPrefixed(&data, &g)) {
+          return Status::Corruption("log entry: bad participant list");
+        }
+        t.participants.emplace_back(g);
+      }
+    }
+    if (v2 && t.kind == RecordKind::kDecide) {
+      uint64_t decision = 0;
+      if (!GetVarint64(&data, &decision)) {
+        return Status::Corruption("log entry: bad decide record");
+      }
+      t.commit_decision = decision != 0;
+    }
     entry.txns.push_back(std::move(t));
   }
   if (!data.empty()) {
@@ -135,10 +216,13 @@ uint64_t LogEntry::Fingerprint() const {
   // Streams exactly the bytes Encode() would produce through a chunking-
   // invariant hasher, so Fingerprint() == Fingerprint64(Encode()) holds
   // (pinned by tests/wal_test.cc) without materializing the encoding.
+  const bool v2 = HasCrossRecords();
   Fingerprinter fp;
+  if (v2) fp.AddVarsint64(kCrossFormatMarker);
   fp.AddVarsint64(winner_dc);
   fp.AddVarint64(txns.size());
   for (const TxnRecord& t : txns) {
+    if (v2) fp.AddVarint64(static_cast<uint64_t>(t.kind));
     fp.AddFixed64(t.id);
     fp.AddVarsint64(t.origin_dc);
     fp.AddVarint64(t.read_pos);
@@ -154,6 +238,14 @@ uint64_t LogEntry::Fingerprint() const {
       fp.AddLengthPrefixed(w.item.row);
       fp.AddLengthPrefixed(w.item.attribute);
       fp.AddLengthPrefixed(w.value);
+    }
+    if (v2 && t.kind == RecordKind::kPrepare) {
+      fp.AddVarint64(t.cross_ts);
+      fp.AddVarint64(t.participants.size());
+      for (const std::string& g : t.participants) fp.AddLengthPrefixed(g);
+    }
+    if (v2 && t.kind == RecordKind::kDecide) {
+      fp.AddVarint64(t.commit_decision ? 1 : 0);
     }
   }
   return fp.Finish();
@@ -180,8 +272,14 @@ std::string LogEntry::ToString() const {
   os << "LogEntry{winner_dc=" << winner_dc << ", txns=[";
   for (size_t i = 0; i < txns.size(); ++i) {
     if (i > 0) os << ", ";
-    os << TxnIdToString(txns[i].id) << "(r@" << txns[i].read_pos << ","
-       << txns[i].reads.size() << "r/" << txns[i].writes.size() << "w)";
+    os << TxnIdToString(txns[i].id);
+    if (txns[i].kind == RecordKind::kPrepare) {
+      os << "[prep ts=" << txns[i].cross_ts << "]";
+    } else if (txns[i].kind == RecordKind::kDecide) {
+      os << (txns[i].commit_decision ? "[decide:commit]" : "[decide:abort]");
+    }
+    os << "(r@" << txns[i].read_pos << "," << txns[i].reads.size() << "r/"
+       << txns[i].writes.size() << "w)";
   }
   os << "]}";
   return os.str();

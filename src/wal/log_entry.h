@@ -75,6 +75,18 @@ struct WriteRecord {
   bool operator==(const WriteRecord&) const = default;
 };
 
+/// What a TxnRecord in the log *is* (design note D8, cross-group commit).
+/// Ordinary single-group transactions are kData records — the only kind
+/// that existed before cross-group transactions, and the only kind whose
+/// entries use the original (v1) wire encoding, so pre-existing logs and
+/// fingerprints are unchanged.
+enum class RecordKind : uint8_t {
+  kData = 0,     // single-group commit: writes take effect at this position
+  kPrepare = 1,  // 2PC phase 1 of a cross-group txn: reads/writes of THIS
+                 // group, effectful only once a commit decision is decided
+  kDecide = 2,   // 2PC phase 2: the commit/abort decision, no reads/writes
+};
+
 /// A committed (or commit-attempting) transaction's payload: everything
 /// needed to replicate it and to decide conflicts against it.
 struct TxnRecord {
@@ -85,7 +97,22 @@ struct TxnRecord {
   std::vector<ReadRecord> reads;
   std::vector<WriteRecord> writes;
 
+  RecordKind kind = RecordKind::kData;
+  /// kPrepare only: global commit-ordering timestamp. Committed cross-group
+  /// prepares must appear in every group's log in increasing (cross_ts, id)
+  /// order — that shared total order is what makes the union of the
+  /// per-group serial orders acyclic (D8).
+  uint64_t cross_ts = 0;
+  /// kPrepare only: every participant group, sorted; front() is the commit
+  /// group, whose first (lowest-position) decide record is the canonical
+  /// transaction outcome.
+  std::vector<std::string> participants;
+  /// kDecide only: true = commit, false = abort.
+  bool commit_decision = false;
+
   bool operator==(const TxnRecord&) const = default;
+
+  bool IsCross() const { return kind != RecordKind::kData; }
 
   /// True if this transaction read item `it`.
   bool Reads(const ItemId& it) const;
@@ -118,6 +145,15 @@ struct LogEntry {
   /// True if transaction `t` reads any item written by any transaction in
   /// this entry (the paper's promotion conflict test).
   bool WritesItemReadBy(const TxnRecord& t) const;
+
+  /// True if any record is a cross-group prepare/decide (selects the v2
+  /// wire encoding; plain entries keep the original byte layout).
+  bool HasCrossRecords() const;
+
+  /// First decide record for `id` in list order, nullptr if none.
+  const TxnRecord* FindDecide(TxnId id) const;
+  /// First prepare record for `id` in list order, nullptr if none.
+  const TxnRecord* FindPrepare(TxnId id) const;
 
   std::string ToString() const;
 };

@@ -1,6 +1,8 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 namespace paxoscp::workload {
 
@@ -15,6 +17,14 @@ std::string Generator::AttributeName(int i) {
   // += instead of `"a" + std::to_string(i)`: GCC 12 -O2 flags the
   // prepend-into-temporary form with a spurious -Wrestrict.
   std::string name = "a";
+  name += std::to_string(i);
+  return name;
+}
+
+std::string Generator::GroupName(const WorkloadConfig& config, int i) {
+  if (config.num_groups <= 1) return config.group;
+  std::string name = config.group;
+  name += '#';
   name += std::to_string(i);
   return name;
 }
@@ -46,6 +56,40 @@ std::vector<Op> Generator::NextTxnOps() {
     ops.push_back(std::move(op));
   }
   return ops;
+}
+
+TxnPlan Generator::NextTxnPlan() {
+  TxnPlan plan;
+  if (config_.num_groups <= 1) {
+    plan.groups = {0};
+    plan.ops = NextTxnOps();
+    return plan;
+  }
+  plan.cross = rng_.Bernoulli(config_.cross_fraction);
+  if (plan.cross) {
+    // Draw k distinct groups (sorted for deterministic begin order).
+    const int k = std::min(std::max(config_.groups_per_cross_txn, 2),
+                           config_.num_groups);
+    std::set<int> chosen;
+    while (static_cast<int>(chosen.size()) < k) {
+      chosen.insert(static_cast<int>(rng_.Uniform(config_.num_groups)));
+    }
+    plan.groups.assign(chosen.begin(), chosen.end());
+  } else {
+    plan.groups = {static_cast<int>(rng_.Uniform(config_.num_groups))};
+  }
+  plan.ops.reserve(config_.ops_per_txn);
+  for (int i = 0; i < config_.ops_per_txn; ++i) {
+    Op op;
+    op.is_read = rng_.Bernoulli(config_.read_fraction);
+    op.attribute = AttributeName(NextAttributeIndex());
+    if (!op.is_read) op.value = RandomValue();
+    op.group = plan.groups.size() > 1
+                   ? static_cast<int>(rng_.Uniform(plan.groups.size()))
+                   : 0;
+    plan.ops.push_back(std::move(op));
+  }
+  return plan;
 }
 
 kvstore::AttributeMap Generator::InitialRow() {

@@ -30,6 +30,16 @@ struct WorkloadConfig {
   double zipf_theta = 0.99;
   /// Length of generated attribute values.
   int value_size = 16;
+
+  /// Sharded keyspace (D8): number of entity groups, each its own row and
+  /// Paxos-CP log, named Generator::GroupName(config, i). 1 keeps the
+  /// paper's single-group workload (and its exact RNG stream) unchanged.
+  int num_groups = 1;
+  /// Probability a transaction spans groups (cross-group 2PC; effective
+  /// only when num_groups > 1).
+  double cross_fraction = 0.0;
+  /// Participants per cross-group transaction (clamped to num_groups).
+  int groups_per_cross_txn = 2;
 };
 
 /// One generated operation.
@@ -37,6 +47,17 @@ struct Op {
   bool is_read = true;
   std::string attribute;
   std::string value;  // writes only
+  /// Index into the transaction's participating-group list (always 0 for
+  /// single-group transactions).
+  int group = 0;
+};
+
+/// One generated transaction in a (possibly sharded) keyspace.
+struct TxnPlan {
+  bool cross = false;
+  /// Participating group indexes (one entry unless cross).
+  std::vector<int> groups;
+  std::vector<Op> ops;
 };
 
 class Generator {
@@ -46,11 +67,20 @@ class Generator {
   /// Operations of one transaction.
   std::vector<Op> NextTxnOps();
 
+  /// One transaction over the sharded keyspace: draws whether it is
+  /// cross-group, which groups it touches, and the per-op group routing.
+  /// With num_groups <= 1 this is exactly NextTxnOps (same RNG stream).
+  TxnPlan NextTxnPlan();
+
   /// Initial attribute map for pre-loading the entity-group row.
   kvstore::AttributeMap InitialRow();
 
   /// Attribute name for index i ("a0", "a1", ...).
   static std::string AttributeName(int i);
+
+  /// Name of entity group `i`: the configured group name when num_groups
+  /// is 1, "<group>#<i>" in a sharded keyspace.
+  static std::string GroupName(const WorkloadConfig& config, int i);
 
   std::string RandomValue();
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "sim/coro.h"
+#include "txn/cross.h"
 
 namespace paxoscp::workload {
 
@@ -17,6 +18,8 @@ struct RunContext {
   RunStats stats;
   int threads_done = 0;
   TimeMicros run_start = 0;
+  /// Entity-group names (one entry in single-group runs).
+  std::vector<std::string> group_names;
 };
 
 /// Ensures a slot exists in the by-round vectors.
@@ -40,9 +43,17 @@ WindowCounts* WindowFor(RunContext* ctx, TimeMicros started_at) {
   return &ctx->stats.windows[index];
 }
 
+/// Runs one single-group transaction. `planned` (multi-group runs only)
+/// supplies pre-drawn ops and the target shard; without it, ops come from
+/// generator->NextTxnOps() on the configured single group — the exact
+/// legacy path, same RNG draw order.
 sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
-                          Generator* generator) {
-  const std::string& group = ctx->config.workload.group;
+                          Generator* generator,
+                          const TxnPlan* planned = nullptr) {
+  const bool multi = planned != nullptr;
+  const std::string& group = multi
+                                 ? ctx->group_names[planned->groups.front()]
+                                 : ctx->config.workload.group;
   const std::string& row = ctx->config.workload.row;
   RunStats& stats = ctx->stats;
   const DcId dc = session->home();
@@ -60,7 +71,10 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
   }
   const TxnId id = txn.id();
 
-  for (const Op& op : generator->NextTxnOps()) {
+  std::vector<Op> drawn;
+  if (!multi) drawn = generator->NextTxnOps();
+  const std::vector<Op>& ops = multi ? planned->ops : drawn;
+  for (const Op& op : ops) {
     if (op.is_read) {
       Result<std::string> value = co_await txn.Read(row, op.attribute);
       if (!value.ok()) {
@@ -71,6 +85,7 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
         core::ClientOutcome outcome;
         outcome.id = id;
         outcome.committed = false;
+        if (multi) outcome.group = group;
         stats.outcomes.push_back(outcome);
         co_return;
       }
@@ -88,6 +103,7 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
   outcome.read_only = result.read_only;
   outcome.position = result.position;
   outcome.unknown = fate == txn::TxnOutcome::kUnknownOutcome;
+  if (multi) outcome.group = group;
   stats.outcomes.push_back(outcome);
 
   if (WindowCounts* w = WindowFor(ctx, started_at)) {
@@ -110,6 +126,7 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
       ++stats.commits_by_round[result.promotions];
       stats.latency_by_round[result.promotions].Record(result.latency);
       stats.latency_committed.Record(result.latency);
+      if (multi) stats.latency_single_multi.Record(result.latency);
       stats.latency_by_dc[dc].Record(result.latency);
       stats.max_promotions = std::max(stats.max_promotions,
                                       result.promotions);
@@ -121,6 +138,110 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
       break;
     default:
       ++stats.failed;
+      break;
+  }
+}
+
+/// Multi-group variant of RunOneTxn (D8): draws the generator's TxnPlan
+/// and either delegates a single-group transaction to RunOneTxn (same
+/// code path as the unsharded workload, routed to the planned shard) or
+/// runs a cross-group transaction committed via 2PC over the
+/// participants' logs.
+sim::Coro<void> RunOneTxnMulti(RunContext* ctx, txn::Session* session,
+                               Generator* generator) {
+  const std::string& row = ctx->config.workload.row;
+  RunStats& stats = ctx->stats;
+  const DcId dc = session->home();
+
+  const TxnPlan plan = generator->NextTxnPlan();
+  if (!plan.cross) {
+    co_await RunOneTxn(ctx, session, generator, &plan);
+    co_return;
+  }
+
+  ++stats.attempted;
+  ++stats.attempted_by_dc[dc];
+  const TimeMicros started_at = ctx->cluster->simulator()->Now();
+  if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->attempted;
+
+  // ---- Cross-group transaction: one leg per participating shard.
+  ++stats.cross_attempted;
+  std::vector<std::string> groups;
+  groups.reserve(plan.groups.size());
+  for (int g : plan.groups) groups.push_back(ctx->group_names[g]);
+
+  txn::CrossTxn txn = co_await session->BeginCross(groups);
+  if (!txn.active()) {
+    ++stats.failed;
+    ++stats.cross_unavailable;
+    if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
+    co_return;
+  }
+  const TxnId id = txn.id();
+  for (const Op& op : plan.ops) {
+    const std::string& group = groups[op.group];
+    if (op.is_read) {
+      Result<std::string> value = co_await txn.Read(group, row, op.attribute);
+      if (!value.ok()) {
+        txn.Abort();
+        ++stats.failed;
+        ++stats.cross_unavailable;
+        if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
+        core::ClientOutcome outcome;
+        outcome.id = id;
+        outcome.committed = false;
+        outcome.groups = groups;
+        stats.outcomes.push_back(outcome);
+        co_return;
+      }
+    } else {
+      (void)txn.Write(group, row, op.attribute, op.value);
+    }
+  }
+
+  txn::CrossCommitResult result = co_await txn.Commit();
+  const txn::TxnOutcome fate = txn::ClassifyCrossCommit(result);
+
+  core::ClientOutcome outcome;
+  outcome.id = id;
+  outcome.committed = result.committed;
+  outcome.unknown = fate == txn::TxnOutcome::kUnknownOutcome;
+  outcome.groups = groups;
+  stats.outcomes.push_back(outcome);
+
+  if (WindowCounts* w = WindowFor(ctx, started_at)) {
+    switch (fate) {
+      case txn::TxnOutcome::kCommitted: ++w->committed; break;
+      case txn::TxnOutcome::kConflict: ++w->aborted; break;
+      default: ++w->unavailable; break;
+    }
+  }
+  switch (fate) {
+    case txn::TxnOutcome::kCommitted:
+      ++stats.committed;
+      ++stats.cross_committed;
+      ++stats.committed_by_dc[dc];
+      EnsureRound(&stats, result.promotions);
+      ++stats.commits_by_round[result.promotions];
+      stats.latency_by_round[result.promotions].Record(result.latency);
+      stats.latency_committed.Record(result.latency);
+      stats.latency_cross.Record(result.latency);
+      stats.latency_by_dc[dc].Record(result.latency);
+      stats.max_promotions = std::max(stats.max_promotions,
+                                      result.promotions);
+      break;
+    case txn::TxnOutcome::kConflict:
+      ++stats.aborted;
+      ++stats.cross_aborted;
+      stats.latency_aborted.Record(result.latency);
+      break;
+    case txn::TxnOutcome::kUnknownOutcome:
+      ++stats.failed;
+      ++stats.cross_unknown;
+      break;
+    default:
+      ++stats.failed;
+      ++stats.cross_unavailable;
       break;
   }
 }
@@ -137,19 +258,45 @@ sim::Coro<void> RunOneTxn(RunContext* ctx, txn::Session* session,
 /// outcomes against the history a recovered system would actually serve.
 sim::Task RecoverDecidedTail(RunContext* ctx) {
   core::Cluster* cluster = ctx->cluster;
-  const std::string& group = ctx->config.workload.group;
-  for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
-    txn::TransactionService* service = cluster->service(dc);
-    for (LogPos pos = 1;; ++pos) {
-      if (service->GroupLog(group)->HasEntry(pos)) continue;
-      Status learned = co_await service->LearnEntry(group, pos);
-      if (learned.ok()) continue;
-      if (pos > service->GroupLog(group)->MaxDecided()) {
-        break;  // undecided tail (or unhealed partition)
+  for (const std::string& group : ctx->group_names) {
+    for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
+      txn::TransactionService* service = cluster->service(dc);
+      for (LogPos pos = 1;; ++pos) {
+        if (service->GroupLog(group)->HasEntry(pos)) continue;
+        Status learned = co_await service->LearnEntry(group, pos);
+        if (learned.ok()) continue;
+        if (pos > service->GroupLog(group)->MaxDecided()) {
+          break;  // undecided tail (or unhealed partition)
+        }
+        // A hole below the frontier should always be learnable once the
+        // network heals; if it is not, keep going and let the checker
+        // report the gap honestly.
       }
-      // A hole below the frontier should always be learnable once the
-      // network heals; if it is not, keep going and let the checker report
-      // the gap honestly.
+    }
+  }
+}
+
+/// Second quiesce stage for cross-group runs: resolves every prepared-but-
+/// undecided cross transaction through the stateless 2PC recovery path
+/// (learn-or-force the canonical decision in the commit group, propagate
+/// it to the participants), exactly what a recovering production system
+/// would do before serving reads past the prepare.
+sim::Task ResolveCrossPending(RunContext* ctx,
+                              txn::TransactionClient* recovery_client) {
+  core::Cluster* cluster = ctx->cluster;
+  for (const std::string& group : ctx->group_names) {
+    for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
+      const std::vector<wal::PendingPrepare> pending =
+          cluster->service(dc)->GroupLog(group)->PendingPrepares();
+      for (const wal::PendingPrepare& p : pending) {
+        Status resolved =
+            co_await recovery_client->RecoverCrossTxn(group, p.txn);
+        if (!resolved.ok()) {
+          PAXOSCP_LOG(kWarn)
+              << "cross recovery of " << TxnIdToString(p.txn) << " in "
+              << group << ": " << resolved.ToString();
+        }
+      }
     }
   }
 }
@@ -170,13 +317,18 @@ sim::Task RunThread(RunContext* ctx, int thread_index, int txns,
 
   const auto interarrival = static_cast<TimeMicros>(
       1e6 / std::max(config.target_rate_tps, 1e-9));
+  const bool multi_group = config.workload.num_groups > 1;
   TimeMicros next_start = sim->Now();
   for (int i = 0; i < txns; ++i) {
     if (sim->Now() < next_start) {
       co_await sim::SleepFor(sim, next_start - sim->Now());
     }
     next_start += interarrival;  // open loop: schedule does not drift
-    co_await RunOneTxn(ctx, &session, &generator);
+    if (multi_group) {
+      co_await RunOneTxnMulti(ctx, &session, &generator);
+    } else {
+      co_await RunOneTxn(ctx, &session, &generator);
+    }
   }
   ++ctx->threads_done;
 }
@@ -193,15 +345,21 @@ RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
   auto ctx = std::make_unique<RunContext>();
   ctx->cluster = cluster;
   ctx->config = config;
+  const int num_groups = std::max(config.workload.num_groups, 1);
+  ctx->group_names.reserve(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    ctx->group_names.push_back(Generator::GroupName(config.workload, g));
+  }
 
-  // Pre-load the entity group row into every datacenter (position 0).
+  // Pre-load each entity group's row into every datacenter (position 0).
   Generator loader(config.workload, config.seed);
-  Status loaded = cluster->LoadInitialRow(config.workload.group,
-                                          config.workload.row,
-                                          loader.InitialRow());
-  if (!loaded.ok()) {
-    ctx->stats.check.Violation("initial load failed: " + loaded.ToString());
-    return std::move(ctx->stats);
+  for (const std::string& group : ctx->group_names) {
+    Status loaded = cluster->LoadInitialRow(group, config.workload.row,
+                                            loader.InitialRow());
+    if (!loaded.ok()) {
+      ctx->stats.check.Violation("initial load failed: " + loaded.ToString());
+      return std::move(ctx->stats);
+    }
   }
 
   Rng seeds(config.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -230,8 +388,25 @@ RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
   if (config.check_invariants) {
     RecoverDecidedTail(ctx.get());
     cluster->RunToCompletion();
-    core::Checker checker(cluster);
-    stats.check = checker.CheckAll(config.workload.group, stats.outcomes);
+    if (ctx->group_names.size() > 1) {
+      // Cross-group quiesce (D8): resolve every prepared-but-undecided
+      // cross transaction (crashed coordinators included) through 2PC
+      // recovery, then learn the new decide entries everywhere so the
+      // checker sees the history a recovered system would serve.
+      txn::ClientOptions recovery_options = config.client;
+      recovery_options.protocol = txn::Protocol::kPaxosCP;
+      txn::TransactionClient* recovery_client =
+          cluster->CreateClient(config.client_dc, recovery_options);
+      ResolveCrossPending(ctx.get(), recovery_client);
+      cluster->RunToCompletion();
+      RecoverDecidedTail(ctx.get());
+      cluster->RunToCompletion();
+      core::Checker checker(cluster);
+      stats.check = checker.CheckAllCross(ctx->group_names, stats.outcomes);
+    } else {
+      core::Checker checker(cluster);
+      stats.check = checker.CheckAll(config.workload.group, stats.outcomes);
+    }
     stats.combined_entries = stats.check.combined_entries;
     stats.combined_txns = stats.check.combined_txns;
     if (!stats.check.ok) {

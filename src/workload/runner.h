@@ -85,6 +85,24 @@ struct RunStats {
   int combined_entries = 0;
   int combined_txns = 0;
 
+  /// Cross-group transactions (D8; populated when workload.num_groups > 1
+  /// and cross_fraction > 0). Cross txns are also counted in the overall
+  /// attempted/committed/aborted/failed tallies.
+  int cross_attempted = 0;
+  int cross_committed = 0;
+  int cross_aborted = 0;     // conflict aborts, incl. commit-order aborts
+  int cross_unknown = 0;     // coordinator never learned the fate
+  int cross_unavailable = 0;
+  Histogram latency_cross;          // committed cross txns, microseconds
+  Histogram latency_single_multi;   // committed single-group txns, same runs
+
+  /// Commit rate over cross-group transactions only.
+  double CrossCommitRate() const {
+    return cross_attempted == 0
+               ? 0
+               : static_cast<double>(cross_committed) / cross_attempted;
+  }
+
   uint64_t messages_sent = 0;
   double messages_per_attempt = 0;
   TimeMicros virtual_duration = 0;

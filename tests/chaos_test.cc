@@ -21,6 +21,7 @@
 // replay command.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -69,8 +70,15 @@ struct ChaosResult {
 /// max_rounds_per_position). The default round cap means clients outlast
 /// every fault episode; a small cap models impatient/crashing clients that
 /// give up mid-commit with an unknown outcome.
+///
+/// `cross` switches the run to a sharded keyspace (2-3 entity groups,
+/// >= 25% cross-group transactions committed via 2PC over the per-group
+/// logs, D8) with seeded coordinator crashes between prepare and decide —
+/// the post-run recovery quiesce must resolve every prepared-but-
+/// undecided transaction and the extended checker must prove atomicity +
+/// one-copy serializability across the union of the groups.
 ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
-                     int max_rounds_per_position = 32) {
+                     int max_rounds_per_position = 32, bool cross = false) {
   Rng rng(seed ^ 0xc4a05f0dULL);
   ChaosResult result;
   result.seed = seed;
@@ -89,8 +97,8 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
   result.plan = generator.Generate();
   cluster.ApplyFaultPlan(result.plan);
 
-  result.protocol =
-      (seed % 2 == 0) ? txn::Protocol::kBasicPaxos : txn::Protocol::kPaxosCP;
+  result.protocol = (!cross && seed % 2 == 0) ? txn::Protocol::kBasicPaxos
+                                              : txn::Protocol::kPaxosCP;
   workload::RunnerConfig runner;
   runner.workload.num_attributes = 40;
   runner.total_txns = 24;
@@ -101,6 +109,18 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
   runner.client.max_rounds_per_position = max_rounds_per_position;
   runner.seed = rng.Next();
   runner.availability_window = 2 * kSecond;  // exercise window accounting
+  if (cross) {
+    runner.workload.num_groups = 2 + static_cast<int>(rng.Uniform(2));
+    runner.workload.cross_fraction = 0.25 + rng.NextDouble() * 0.25;
+    runner.workload.groups_per_cross_txn = 2;
+    // A third of the cross runs use a crashing coordinator: it abandons
+    // the transaction between prepare and decide (after 1 or 2 prepares
+    // landed), leaving the 2PC window for recovery to close — under
+    // whatever outages/partitions the fault plan throws at it.
+    if (rng.Uniform(3) == 0) {
+      runner.client.crash_after_prepares = 1 + static_cast<int>(rng.Uniform(2));
+    }
+  }
   result.stats = workload::RunExperiment(&cluster, runner);
 
   // Classify unknown outcomes (txn::TxnOutcome::kUnknownOutcome — clients
@@ -109,12 +129,16 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
   // additionally proves both fates are actually reached. This is also why
   // Session::RunTransaction never retries kUnknownOutcome — the
   // in-log fate below would become a double commit.
-  std::map<LogPos, wal::LogEntry> global_log;
   core::Checker checker(&cluster);
-  (void)checker.CheckReplication(runner.workload.group, &global_log);
   std::set<TxnId> in_log;
-  for (const auto& [pos, entry] : global_log) {
-    for (const wal::TxnRecord& t : entry.txns) in_log.insert(t.id);
+  const int num_groups = std::max(runner.workload.num_groups, 1);
+  for (int g = 0; g < num_groups; ++g) {
+    std::map<LogPos, wal::LogEntry> global_log;
+    (void)checker.CheckReplication(
+        workload::Generator::GroupName(runner.workload, g), &global_log);
+    for (const auto& [pos, entry] : global_log) {
+      for (const wal::TxnRecord& t : entry.txns) in_log.insert(t.id);
+    }
   }
   for (const core::ClientOutcome& outcome : result.stats.outcomes) {
     if (!outcome.unknown) continue;
@@ -189,6 +213,55 @@ TEST(ChaosSweepTest, AnySeedReplaysBitIdentically) {
   EXPECT_EQ(first.stats.virtual_duration, second.stats.virtual_duration);
   EXPECT_EQ(first.unknown_in_log, second.unknown_in_log);
   EXPECT_EQ(first.unknown_absent, second.unknown_absent);
+}
+
+// Cross-group chaos (D8): sharded keyspaces with >= 25% cross-group
+// transactions, 2PC over the per-group Paxos-CP logs, under the same
+// seeded fault plans — datacenter outages and partitions landing anywhere
+// in the 2PC window (including between a participant's prepare and the
+// decide) — plus seeded coordinator crashes that abandon the transaction
+// mid-2PC. The post-run recovery quiesce resolves every prepared-but-
+// undecided transaction, and the extended checker must prove cross-group
+// atomicity and global one-copy serializability on every seed.
+TEST(ChaosSweepTest, CrossGroupPlansPreserveGlobalSerializability) {
+  const uint64_t replay = EnvOr("PAXOSCP_CHAOS_REPLAY", 0);
+  const uint64_t base = EnvOr("PAXOSCP_CHAOS_SEED_BASE", 1000) + 500000;
+  const uint64_t count =
+      replay != 0 ? 1 : EnvOr("PAXOSCP_CHAOS_CROSS_SEEDS", 15);
+
+  int cross_committed = 0, cross_unknown = 0, plans_with_faults = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seed = replay != 0 ? replay : base + i;
+    const ChaosResult result =
+        RunChaos(seed, nullptr, /*max_rounds=*/32, /*cross=*/true);
+    if (replay != 0) std::printf("%s", result.Describe().c_str());
+    if (!result.ok()) {
+      WriteFailureArtifact(result);
+      ADD_FAILURE() << "cross-group chaos run violated invariants\n"
+                    << result.Describe()
+                    << "replay with: PAXOSCP_CHAOS_REPLAY=" << seed
+                    << " ./chaos_test";
+      continue;
+    }
+    cross_committed += result.stats.cross_committed;
+    cross_unknown += result.stats.cross_unknown;
+    if (!result.plan.events.empty()) ++plans_with_faults;
+  }
+  // The sweep must exercise faults, commit cross-group transactions, and
+  // actually hit the coordinator-crash window (unknown cross outcomes).
+  // Aggregate shape assertions only make sense over a sweep — a
+  // single-seed replay (PAXOSCP_CHAOS_REPLAY) checks invariants only.
+  if (replay == 0) {
+    EXPECT_GT(plans_with_faults, 0);
+    EXPECT_GT(cross_committed, 0);
+    EXPECT_GT(cross_unknown, 0)
+        << "no coordinator crash between prepare and decide was exercised";
+  }
+  std::printf(
+      "cross chaos sweep: %llu runs, %d with faults, %d cross commits, "
+      "%d coordinator crashes recovered\n",
+      static_cast<unsigned long long>(count), plans_with_faults,
+      cross_committed, cross_unknown);
 }
 
 // A crashed/timed-out client's transaction may legitimately land in the log

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/histogram.h"
@@ -385,6 +387,86 @@ TEST(HistogramTest, ClearResets) {
   h.Clear();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0);
+}
+
+namespace {
+
+/// Reference implementation of the bucket lookup: the linear scan
+/// BucketFor used before the binary search (bucket i covers
+/// (limit(i-1), limit(i)], clamped to the last bucket).
+int LinearBucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int i = 0;
+  while (i < Histogram::kNumBuckets - 1 && Histogram::BucketLimit(i) < value) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+TEST(HistogramTest, BinarySearchBucketMatchesLinearScan) {
+  std::vector<int64_t> values = {0, std::numeric_limits<int64_t>::max()};
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const int64_t limit = Histogram::BucketLimit(i);
+    values.push_back(limit);
+    if (limit > 0) values.push_back(limit - 1);
+    if (limit < std::numeric_limits<int64_t>::max()) {
+      values.push_back(limit + 1);
+    }
+  }
+  // A pseudo-random sweep across the whole range on top of the edges.
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<int64_t>(x >> 1));  // non-negative
+  }
+  for (int64_t v : values) {
+    EXPECT_EQ(Histogram::BucketFor(v), LinearBucketFor(v)) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketLimitsAreNonDecreasingAndPadded) {
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GE(Histogram::BucketLimit(i), Histogram::BucketLimit(i - 1)) << i;
+  }
+  EXPECT_EQ(Histogram::BucketLimit(Histogram::kNumBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramTest, NegativeRecordAssertsInDebugAndClampsInRelease) {
+  Histogram h;
+  // Debug builds assert (the sample is a caller bug); release builds
+  // clamp the sample to 0 so every statistic stays sign-consistent.
+  EXPECT_DEBUG_DEATH(h.Record(-1), "negative");
+#ifdef NDEBUG
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+#endif
+}
+
+TEST(HistogramTest, AllNegativeHistogramStaysSignConsistent) {
+#ifdef NDEBUG
+  // The historical bug: min_ went negative while the buckets clamped at
+  // 0, so Percentile() (bucket-based, clamped into [min, max]) and Mean()
+  // (sum-based) disagreed in sign. With clamp-at-0 semantics every
+  // statistic agrees.
+  Histogram h;
+  h.Record(-50);
+  h.Record(-2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+  EXPECT_EQ(h.StdDev(), 0);
+#endif
 }
 
 // ----------------------------------------------------------------- Types --

@@ -1,0 +1,725 @@
+// Cross-group transactions (design note D8): 2PC over the per-group
+// Paxos-CP logs. Covers the wire format (v2 entries round-trip; plain
+// entries keep the v1 bytes and fingerprints), the WAL side tables
+// (pending prepares hold SafeReadPos and the applied watermark), the
+// commit path (atomic multi-group transfer, conflict aborts, the shared
+// commit order), coordinator-crash recovery (prepared-but-undecided
+// transactions resolved to a canonical decision by a stateless recovery
+// client), the checker's cross-group obligations, and the Session-level
+// BeginCross / RunTransaction(groups, ...) API.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "sim/coro.h"
+#include "txn/client.h"
+#include "txn/cross.h"
+#include "txn/txn.h"
+#include "wal/log.h"
+#include "wal/log_entry.h"
+
+namespace paxoscp {
+namespace {
+
+using txn::ClientOptions;
+using txn::CrossCommitResult;
+using txn::CrossTxn;
+using txn::CrossTxnResult;
+using txn::Session;
+using txn::TxnOutcome;
+
+core::ClusterConfig TestConfig(uint64_t seed = 31) {
+  core::ClusterConfig config = *core::ClusterConfig::FromCode("VVV");
+  config.seed = seed;
+  return config;
+}
+
+// ------------------------------------------------------------ wire format
+
+TEST(CrossLogEntryTest, PlainEntriesKeepV1BytesAndFingerprint) {
+  wal::LogEntry entry;
+  wal::TxnRecord t;
+  t.id = MakeTxnId(1, 7);
+  t.origin_dc = 1;
+  t.read_pos = 3;
+  t.reads.push_back({{"row", "a"}, MakeTxnId(0, 1), 2});
+  t.writes.push_back({{"row", "b"}, "value"});
+  entry.txns.push_back(t);
+  entry.winner_dc = 1;
+
+  ASSERT_FALSE(entry.HasCrossRecords());
+  const std::string encoded = entry.Encode();
+  // v1 layout: the first byte is the zigzag varint of winner_dc (1 -> 2),
+  // NOT the v2 marker.
+  ASSERT_FALSE(encoded.empty());
+  EXPECT_EQ(static_cast<unsigned char>(encoded[0]), 2u);
+  Result<wal::LogEntry> decoded = wal::LogEntry::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, entry);
+}
+
+TEST(CrossLogEntryTest, PrepareAndDecideRecordsRoundTrip) {
+  wal::LogEntry entry;
+  wal::TxnRecord prepare;
+  prepare.id = MakeTxnId(0, 9);
+  prepare.origin_dc = 0;
+  prepare.read_pos = 5;
+  prepare.kind = wal::RecordKind::kPrepare;
+  prepare.cross_ts = 123456;
+  prepare.participants = {"alpha", "beta"};
+  prepare.reads.push_back({{"row", "x"}, 0, 0});
+  prepare.writes.push_back({{"row", "y"}, "v"});
+  wal::TxnRecord decide;
+  decide.id = MakeTxnId(2, 4);
+  decide.origin_dc = 2;
+  decide.kind = wal::RecordKind::kDecide;
+  decide.commit_decision = true;
+  wal::TxnRecord data;
+  data.id = MakeTxnId(1, 1);
+  data.origin_dc = 1;
+  data.writes.push_back({{"row", "z"}, "w"});
+  entry.txns = {prepare, data, decide};
+  entry.winner_dc = 0;
+
+  ASSERT_TRUE(entry.HasCrossRecords());
+  Result<wal::LogEntry> decoded = wal::LogEntry::Decode(entry.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, entry);
+  EXPECT_NE(entry.FindPrepare(prepare.id), nullptr);
+  EXPECT_NE(entry.FindDecide(decide.id), nullptr);
+  EXPECT_EQ(entry.FindDecide(prepare.id), nullptr);
+}
+
+// --------------------------------------------------------- WAL side tables
+
+TEST(CrossWalTest, PendingPrepareHoldsSafeReadPosAndWatermark) {
+  kvstore::MultiVersionStore store;
+  wal::WriteAheadLog log(&store, "g");
+
+  wal::LogEntry data;
+  wal::TxnRecord u;
+  u.id = MakeTxnId(0, 1);
+  u.writes.push_back({{"r", "a"}, "1"});
+  data.txns.push_back(u);
+  data.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(1, data).ok());
+
+  wal::LogEntry prep_entry;
+  wal::TxnRecord p;
+  p.id = MakeTxnId(1, 2);
+  p.kind = wal::RecordKind::kPrepare;
+  p.cross_ts = 10;
+  p.participants = {"g", "h"};
+  p.read_pos = 1;
+  p.writes.push_back({{"r", "a"}, "2"});
+  prep_entry.txns.push_back(p);
+  prep_entry.winner_dc = 1;
+  ASSERT_TRUE(log.SetEntry(2, prep_entry).ok());
+
+  // The prepare is pending: reads and the watermark stay below it.
+  EXPECT_EQ(log.MaxDecided(), 2u);
+  EXPECT_EQ(log.SafeReadPos(), 1u);
+  ASSERT_EQ(log.PendingPrepares().size(), 1u);
+  EXPECT_EQ(log.PendingPrepares()[0].pos, 2u);
+  EXPECT_EQ(log.PendingPrepares()[0].txn, p.id);
+  LogPos missing = 0;
+  TxnId undecided = 0;
+  Status held = log.ApplyThrough(2, &missing, &undecided);
+  EXPECT_EQ(held.code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(missing, 2u);
+  EXPECT_EQ(undecided, p.id);
+  EXPECT_EQ(log.AppliedThrough(), 1u);
+  // The held-back write is invisible.
+  EXPECT_EQ(log.ReadItem({"r", "a"}, 1).value, "1");
+
+  // Commit-order watermark covers the prepare.
+  uint64_t max_ts = 0;
+  TxnId max_id = 0;
+  log.MaxCrossOrder(&max_ts, &max_id);
+  EXPECT_EQ(max_ts, 10u);
+  EXPECT_EQ(max_id, p.id);
+
+  // A commit decide unblocks everything and the write lands at the
+  // *prepare* position.
+  wal::LogEntry dec_entry;
+  wal::TxnRecord d;
+  d.id = p.id;
+  d.kind = wal::RecordKind::kDecide;
+  d.commit_decision = true;
+  dec_entry.txns.push_back(d);
+  dec_entry.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(3, dec_entry).ok());
+  EXPECT_TRUE(log.PendingPrepares().empty());
+  EXPECT_EQ(log.SafeReadPos(), 3u);
+  ASSERT_TRUE(log.ApplyThrough(3).ok());
+  wal::ItemRead read = log.ReadItem({"r", "a"}, 3);
+  EXPECT_EQ(read.value, "2");
+  EXPECT_EQ(read.writer, p.id);
+  EXPECT_EQ(read.written_pos, 2u);
+}
+
+TEST(CrossWalTest, AbortDecidedPrepareIsANoOp) {
+  kvstore::MultiVersionStore store;
+  wal::WriteAheadLog log(&store, "g");
+
+  wal::LogEntry prep_entry;
+  wal::TxnRecord p;
+  p.id = MakeTxnId(0, 5);
+  p.kind = wal::RecordKind::kPrepare;
+  p.cross_ts = 4;
+  p.participants = {"g"};
+  p.writes.push_back({{"r", "a"}, "doomed"});
+  prep_entry.txns.push_back(p);
+  prep_entry.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(1, prep_entry).ok());
+
+  // Decide learned BEFORE the prepare would be applied (and decides can
+  // even be learned before the prepare entry itself — born-decided).
+  wal::LogEntry dec_entry;
+  wal::TxnRecord d;
+  d.id = p.id;
+  d.kind = wal::RecordKind::kDecide;
+  d.commit_decision = false;
+  dec_entry.txns.push_back(d);
+  dec_entry.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(2, dec_entry).ok());
+
+  ASSERT_TRUE(log.ApplyThrough(2).ok());
+  EXPECT_FALSE(log.ReadItem({"r", "a"}, 2).found);
+  ASSERT_TRUE(log.DecisionFor(p.id).known);
+  EXPECT_FALSE(log.DecisionFor(p.id).commit);
+}
+
+TEST(CrossWalTest, DecideLearnedBeforePrepareMeansNeverPending) {
+  kvstore::MultiVersionStore store;
+  wal::WriteAheadLog log(&store, "g");
+
+  wal::TxnRecord d;
+  d.id = MakeTxnId(0, 8);
+  d.kind = wal::RecordKind::kDecide;
+  d.commit_decision = true;
+  wal::LogEntry dec_entry;
+  dec_entry.txns.push_back(d);
+  dec_entry.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(2, dec_entry).ok());
+
+  wal::TxnRecord p;
+  p.id = d.id;
+  p.kind = wal::RecordKind::kPrepare;
+  p.cross_ts = 9;
+  p.participants = {"g"};
+  p.writes.push_back({{"r", "a"}, "late"});
+  wal::LogEntry prep_entry;
+  prep_entry.txns.push_back(p);
+  prep_entry.winner_dc = 0;
+  ASSERT_TRUE(log.SetEntry(1, prep_entry).ok());
+
+  EXPECT_TRUE(log.PendingPrepares().empty());
+  EXPECT_EQ(log.SafeReadPos(), 2u);
+  ASSERT_TRUE(log.ApplyThrough(2).ok());
+  EXPECT_EQ(log.ReadItem({"r", "a"}, 2).value, "late");
+}
+
+// ------------------------------------------------------------ commit path
+
+TEST(CrossTxnTest, AtomicTransferAcrossGroups) {
+  Db db(TestConfig());
+  ASSERT_TRUE(db.Load("acct_a", "row", {{"balance", "100"}}).ok());
+  ASSERT_TRUE(db.Load("acct_b", "row", {{"balance", "100"}}).ok());
+  Session session = db.Session(0);
+
+  struct Probe {
+    CrossCommitResult commit;
+    std::string a_after, b_after;
+    Status read_status = Status::OK();
+  } probe;
+
+  struct {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> both = {"acct_a", "acct_b"};
+      CrossTxn txn = co_await s->BeginCross(both);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      Result<std::string> a = co_await txn.Read("acct_a", "row", "balance");
+      Result<std::string> b = co_await txn.Read("acct_b", "row", "balance");
+      EXPECT_TRUE(a.ok() && b.ok());
+      if (!a.ok() || !b.ok()) co_return;
+      (void)txn.Write("acct_a", "row", "balance",
+                      std::to_string(std::stoi(*a) - 30));
+      (void)txn.Write("acct_b", "row", "balance",
+                      std::to_string(std::stoi(*b) + 30));
+      out->commit = co_await txn.Commit();
+
+      // A later transaction observes both effects.
+      const std::vector<std::string> both2 = {"acct_a", "acct_b"};
+      CrossTxn audit = co_await s->BeginCross(both2);
+      EXPECT_TRUE(audit.active()) << audit.begin_status().ToString();
+      if (!audit.active()) co_return;
+      Result<std::string> a2 = co_await audit.Read("acct_a", "row", "balance");
+      Result<std::string> b2 = co_await audit.Read("acct_b", "row", "balance");
+      if (!a2.ok() || !b2.ok()) {
+        out->read_status = a2.ok() ? b2.status() : a2.status();
+      } else {
+        out->a_after = *a2;
+        out->b_after = *b2;
+      }
+      audit.Abort();
+    }
+  } run;
+  run(&session, &probe);
+  db.Run();
+
+  ASSERT_TRUE(probe.commit.committed) << probe.commit.status.ToString();
+  EXPECT_EQ(probe.commit.prepare_positions.size(), 2u);
+  EXPECT_GT(probe.commit.decide_pos, 0u);
+  ASSERT_TRUE(probe.read_status.ok()) << probe.read_status.ToString();
+  EXPECT_EQ(probe.a_after, "70");
+  EXPECT_EQ(probe.b_after, "130");
+
+  core::CheckReport report = db.Check(std::vector<std::string>{"acct_a", "acct_b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossTxnTest, RequiresPaxosCp) {
+  Db db(TestConfig());
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ClientOptions basic;
+  basic.protocol = txn::Protocol::kBasicPaxos;
+  Session session = db.Session(0, basic);
+
+  struct Probe {
+    Status begin = Status::OK();
+  } probe;
+  struct {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      out->begin = txn.begin_status();
+      EXPECT_FALSE(txn.active());
+    }
+  } run;
+  run(&session, &probe);
+  db.Run();
+  EXPECT_EQ(probe.begin.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CrossTxnTest, ConflictingCrossTxnsSerializeOrAbort) {
+  Db db(TestConfig());
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  // Two sessions race read-modify-write transactions over the same two
+  // groups and items; serializability across groups must hold whatever
+  // interleaving the simulator produces.
+  struct Probe {
+    CrossTxnResult r1, r2;
+  } probe;
+  Session s1 = db.Session(0);
+  Session s2 = db.Session(1);
+
+  auto body = [](CrossTxn* txn) -> sim::Coro<Status> {
+    Result<std::string> x = co_await txn->Read("a", "row", "x");
+    if (!x.ok()) co_return x.status();
+    Result<std::string> y = co_await txn->Read("b", "row", "y");
+    if (!y.ok()) co_return y.status();
+    Status wx = txn->Write("a", "row", "x", std::to_string(std::stoi(*y) + 1));
+    if (!wx.ok()) co_return wx;
+    Status wy = txn->Write("b", "row", "y", std::to_string(std::stoi(*x) + 1));
+    if (!wy.ok()) co_return wy;
+    co_return Status::OK();
+  };
+
+  struct {
+    sim::Task operator()(Session* s, txn::CrossTxnBody body,
+                         CrossTxnResult* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      *out = co_await s->RunTransaction(ab, std::move(body));
+    }
+  } run;
+  run(&s1, body, &probe.r1);
+  run(&s2, body, &probe.r2);
+  db.Run();
+
+  // With retries both should eventually commit (no deadlock, no livelock
+  // in this 2-txn race), and the combined history must be serializable.
+  EXPECT_TRUE(probe.r1.committed()) << probe.r1.status.ToString();
+  EXPECT_TRUE(probe.r2.committed()) << probe.r2.status.ToString();
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossTxnTest, MixedSingleAndCrossTrafficStaysSerializable) {
+  Db db(TestConfig(77));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}, {"w", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+  Session cross_session = db.Session(0);
+  Session single_session = db.Session(1);
+
+  struct Probe {
+    CrossTxnResult cross;
+    txn::TxnResult single;
+  } probe;
+
+  struct CrossRun {
+    sim::Task operator()(Session* s, CrossTxnResult* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      *out = co_await s->RunTransaction(
+          ab, [](CrossTxn* txn) -> sim::Coro<Status> {
+            Result<std::string> x = co_await txn->Read("a", "row", "x");
+            if (!x.ok()) co_return x.status();
+            Status w = txn->Write("b", "row", "y", *x + "!");
+            if (!w.ok()) co_return w;
+            co_return Status::OK();
+          });
+    }
+  } cross_run;
+  struct SingleRun {
+    sim::Task operator()(Session* s, txn::TxnResult* out) {
+      *out = co_await s->RunTransaction(
+          "a", [](txn::Txn* txn) -> sim::Coro<Status> {
+            Result<std::string> w = co_await txn->Read("row", "w");
+            if (!w.ok()) co_return w.status();
+            Status ww = txn->Write("row", "w", *w + "1");
+            if (!ww.ok()) co_return ww;
+            Status wx = txn->Write("row", "x", "9");
+            if (!wx.ok()) co_return wx;
+            co_return Status::OK();
+          });
+    }
+  } single_run;
+  cross_run(&cross_session, &probe.cross);
+  single_run(&single_session, &probe.single);
+  db.Run();
+
+  EXPECT_TRUE(probe.cross.committed()) << probe.cross.status.ToString();
+  EXPECT_TRUE(probe.single.committed()) << probe.single.status.ToString();
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+// ----------------------------------------------------- crash and recovery
+
+TEST(CrossRecoveryTest, CoordinatorCrashBetweenPrepareAndDecideIsRecovered) {
+  Db db(TestConfig(41));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  // The crashing coordinator: walks away after both prepares land,
+  // leaving prepared-but-undecided records in both logs.
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+
+  struct Probe {
+    CrossCommitResult crash_commit;
+    TxnId crashed_id = 0;
+    Status held_read = Status::OK();
+    LogPos held_read_pos = 99;
+  } probe;
+
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      out->crashed_id = txn.id();
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+
+  ASSERT_TRUE(probe.crash_commit.unknown)
+      << probe.crash_commit.status.ToString();
+  ASSERT_EQ(probe.crash_commit.prepare_positions.size(), 2u);
+  // Both groups hold a pending prepare; the read frontier is held below it.
+  for (const char* g : {"a", "b"}) {
+    EXPECT_FALSE(
+        db.cluster()->service(0)->GroupLog(g)->PendingPrepares().empty())
+        << g;
+  }
+
+  struct HeldProbe {
+    LogPos read_pos = 99;
+  } held;
+  Session reader = db.Session(1);
+  struct HeldRun {
+    sim::Task operator()(Session* s, HeldProbe* out, LogPos* prep_pos) {
+      txn::Txn txn = co_await s->Begin("a");
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      out->read_pos = txn.read_pos();
+      (void)*prep_pos;
+      txn.Abort();
+    }
+  } held_run;
+  LogPos prep_a = probe.crash_commit.prepare_positions.at("a");
+  held_run(&reader, &held, &prep_a);
+  db.Run();
+  EXPECT_LT(held.read_pos, prep_a);
+
+  // A recovery client (any client, anywhere) resolves the transaction.
+  // No decide exists, so recovery forces abort in the commit group and
+  // propagates it.
+  struct RecoveryProbe {
+    Status recovered = Status::Internal("unset");
+  } rec;
+  txn::TransactionClient* recovery =
+      db.cluster()->CreateClient(2, ClientOptions{});
+  struct RecoveryRun {
+    sim::Task operator()(txn::TransactionClient* c, TxnId id,
+                         RecoveryProbe* out) {
+      out->recovered = co_await c->RecoverCrossTxn("a", id);
+    }
+  } recovery_run;
+  recovery_run(recovery, probe.crashed_id, &rec);
+  db.Run();
+  ASSERT_TRUE(rec.recovered.ok()) << rec.recovered.ToString();
+
+  // Pendings cleared everywhere that learned the decide; the crashed
+  // writes never surface; the checker is green across both groups.
+  EXPECT_TRUE(
+      db.cluster()->service(0)->GroupLog("a")->PendingPrepares().empty());
+  EXPECT_TRUE(
+      db.cluster()->service(0)->GroupLog("b")->PendingPrepares().empty());
+
+  struct AfterProbe {
+    std::string x, y;
+    Status status = Status::OK();
+  } after;
+  Session verify = db.Session(1);
+  struct AfterRun {
+    sim::Task operator()(Session* s, AfterProbe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      Result<std::string> x = co_await txn.Read("a", "row", "x");
+      Result<std::string> y = co_await txn.Read("b", "row", "y");
+      if (!x.ok() || !y.ok()) {
+        out->status = x.ok() ? y.status() : x.status();
+      } else {
+        out->x = *x;
+        out->y = *y;
+      }
+      txn.Abort();
+    }
+  } after_run;
+  after_run(&verify, &after);
+  db.Run();
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(after.x, "0");
+  EXPECT_EQ(after.y, "0");
+
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossRecoveryTest, PartialPrepareCrashIsRecovered) {
+  // The classic blocking-2PC window: the coordinator dies after ONE of
+  // two prepares landed — group "a" holds a pending prepare, group "b"
+  // was never contacted. Recovery must force abort through the commit
+  // group and unblock "a" even though "b" has no trace of the txn.
+  Db db(TestConfig(47));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 1;
+  Session doomed = db.Session(0, crashy);
+
+  struct Probe {
+    CrossCommitResult crash_commit;
+    TxnId crashed_id = 0;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      out->crashed_id = txn.id();
+      (void)txn.Write("a", "row", "x", "half");
+      (void)txn.Write("b", "row", "y", "half");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+
+  ASSERT_TRUE(probe.crash_commit.unknown)
+      << probe.crash_commit.status.ToString();
+  // Exactly one prepare landed: the partial window is real.
+  ASSERT_EQ(probe.crash_commit.prepare_positions.size(), 1u);
+  EXPECT_FALSE(
+      db.cluster()->service(0)->GroupLog("a")->PendingPrepares().empty());
+  EXPECT_TRUE(
+      db.cluster()->service(0)->GroupLog("b")->PendingPrepares().empty());
+
+  struct RecoveryProbe {
+    Status recovered = Status::Internal("unset");
+  } rec;
+  txn::TransactionClient* recovery =
+      db.cluster()->CreateClient(1, ClientOptions{});
+  struct RecoveryRun {
+    sim::Task operator()(txn::TransactionClient* c, TxnId id,
+                         RecoveryProbe* out) {
+      out->recovered = co_await c->RecoverCrossTxn("a", id);
+    }
+  } recovery_run;
+  recovery_run(recovery, probe.crashed_id, &rec);
+  db.Run();
+  ASSERT_TRUE(rec.recovered.ok()) << rec.recovered.ToString();
+
+  EXPECT_TRUE(
+      db.cluster()->service(0)->GroupLog("a")->PendingPrepares().empty());
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossRecoveryTest, RecoveryAdoptsExistingCommitDecision) {
+  Db db(TestConfig(43));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  // Crash after prepares AND after the commit decide landed in the commit
+  // group but before propagation: crash_after_prepares can't express
+  // that, so emulate by committing fully, then re-running recovery — it
+  // must adopt the existing commit decision, not abort.
+  Session session = db.Session(0);
+  struct Probe {
+    CrossCommitResult commit;
+    TxnId id = 0;
+  } probe;
+  struct CommitRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      out->id = txn.id();
+      (void)txn.Write("a", "row", "x", "committed");
+      (void)txn.Write("b", "row", "y", "committed");
+      out->commit = co_await txn.Commit();
+    }
+  } commit_run;
+  commit_run(&session, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.commit.committed) << probe.commit.status.ToString();
+
+  struct RecoveryProbe {
+    Status recovered = Status::Internal("unset");
+  } rec;
+  txn::TransactionClient* recovery =
+      db.cluster()->CreateClient(1, ClientOptions{});
+  struct RecoveryRun {
+    sim::Task operator()(txn::TransactionClient* c, TxnId id,
+                         RecoveryProbe* out) {
+      out->recovered = co_await c->RecoverCrossTxn("b", id);
+    }
+  } recovery_run;
+  recovery_run(recovery, probe.id, &rec);
+  db.Run();
+  ASSERT_TRUE(rec.recovered.ok()) << rec.recovered.ToString();
+
+  // Still committed (recovery must not flip a decided transaction) and
+  // the writes survive.
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+  wal::WriteAheadLog* log_a = db.cluster()->service(0)->GroupLog("a");
+  ASSERT_TRUE(log_a->ApplyThrough(log_a->SafeReadPos()).ok());
+  wal::ItemRead x = log_a->ReadItem({"row", "x"}, log_a->SafeReadPos());
+  EXPECT_EQ(x.value, "committed");
+}
+
+// ------------------------------------------------------- checker coverage
+
+TEST(CrossCheckerTest, DetectsAtomicityViolation) {
+  // Hand-build a broken history: T committed canonically in its commit
+  // group but its prepare is missing from participant 'b'.
+  Db db(TestConfig());
+  wal::WriteAheadLog* log_a =
+      db.cluster()->service(0)->GroupLog("a");
+  const TxnId id = MakeTxnId(0, 1);
+  wal::TxnRecord p;
+  p.id = id;
+  p.kind = wal::RecordKind::kPrepare;
+  p.cross_ts = 5;
+  p.participants = {"a", "b"};
+  p.writes.push_back({{"row", "x"}, "1"});
+  wal::LogEntry prep;
+  prep.txns.push_back(p);
+  prep.winner_dc = 0;
+  wal::TxnRecord d;
+  d.id = id;
+  d.kind = wal::RecordKind::kDecide;
+  d.commit_decision = true;
+  wal::LogEntry dec;
+  dec.txns.push_back(d);
+  dec.winner_dc = 0;
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    ASSERT_TRUE(
+        db.cluster()->service(dc)->GroupLog("a")->SetEntry(1, prep).ok());
+    ASSERT_TRUE(
+        db.cluster()->service(dc)->GroupLog("a")->SetEntry(2, dec).ok());
+    // Give group b a non-empty log so the group exists.
+    (void)db.cluster()->service(dc)->GroupLog("b");
+  }
+  (void)log_a;
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CrossCheckerTest, DetectsCommitOrderViolation) {
+  // Two committed cross prepares in decreasing (cross_ts, id) order within
+  // one group must be flagged even though each is individually fine.
+  Db db(TestConfig());
+  const TxnId t1 = MakeTxnId(0, 1);  // older id...
+  const TxnId t2 = MakeTxnId(0, 2);
+  auto prep = [](TxnId id, uint64_t ts) {
+    wal::TxnRecord p;
+    p.id = id;
+    p.kind = wal::RecordKind::kPrepare;
+    p.cross_ts = ts;
+    p.participants = {"a"};
+    return p;
+  };
+  auto dec = [](TxnId id) {
+    wal::TxnRecord d;
+    d.id = id;
+    d.kind = wal::RecordKind::kDecide;
+    d.commit_decision = true;
+    return d;
+  };
+  wal::LogEntry e1, e2, e3, e4;
+  e1.txns.push_back(prep(t2, /*ts=*/20));  // younger FIRST: order violation
+  e1.winner_dc = 0;
+  e2.txns.push_back(prep(t1, /*ts=*/10));
+  e2.winner_dc = 0;
+  e3.txns.push_back(dec(t1));
+  e3.winner_dc = 0;
+  e4.txns.push_back(dec(t2));
+  e4.winner_dc = 0;
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    wal::WriteAheadLog* log = db.cluster()->service(dc)->GroupLog("a");
+    ASSERT_TRUE(log->SetEntry(1, e1).ok());
+    ASSERT_TRUE(log->SetEntry(2, e2).ok());
+    ASSERT_TRUE(log->SetEntry(3, e3).ok());
+    ASSERT_TRUE(log->SetEntry(4, e4).ok());
+  }
+  core::CheckReport report = db.Check(std::vector<std::string>{"a"});
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("commit order") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+}  // namespace
+}  // namespace paxoscp

@@ -257,6 +257,48 @@ TEST(BackgroundApplierTest, AppliesLogWithoutReads) {
   EXPECT_EQ(read.value, "4");
 }
 
+TEST(BackgroundApplierTest, StopCancelsAlreadyScheduledTick) {
+  // Regression: StopBackgroundApplier used to only zero the interval, so
+  // the tick already sitting in the simulator's queue still fired once
+  // after "stop" — applying and garbage-collecting concurrently with a
+  // post-run recovery quiesce. The generation counter must make that
+  // stale tick a no-op: after Stop returns, background_applies_ is
+  // frozen no matter what is still queued.
+  Cluster cluster(TestConfig("VVV", 43));
+  ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
+  cluster.service(0)->StartBackgroundApplier(200 * kMillisecond);
+
+  uint64_t frozen = 0;
+  bool tick_still_queued = false;
+  cluster.simulator()->ScheduleAt(30 * kSecond, [&] {
+    cluster.service(0)->StopBackgroundApplier();
+    frozen = cluster.service(0)->background_applies();
+    // The applier's next tick is still sitting in the queue: the whole
+    // point is that it must fire as a no-op.
+    tick_still_queued = cluster.simulator()->PendingEvents() > 0;
+  });
+
+  int committed = 0;
+  Session session = cluster.CreateSession(0);
+  CommitWrites(&session, 3, &committed);
+  cluster.RunToCompletion();
+  ASSERT_EQ(committed, 3);
+  ASSERT_GT(frozen, 0u);
+  EXPECT_TRUE(tick_still_queued);
+  EXPECT_EQ(cluster.service(0)->background_applies(), frozen);
+
+  // A restart after stop works (fresh generation) and stops cleanly too.
+  uint64_t after_restart = 0;
+  cluster.service(0)->StartBackgroundApplier(200 * kMillisecond);
+  cluster.simulator()->ScheduleAfter(5 * kSecond, [&] {
+    cluster.service(0)->StopBackgroundApplier();
+    after_restart = cluster.service(0)->background_applies();
+  });
+  cluster.RunToCompletion();
+  EXPECT_GT(after_restart, frozen);
+  EXPECT_EQ(cluster.service(0)->background_applies(), after_restart);
+}
+
 TEST(BackgroundApplierTest, GarbageCollectsOldVersions) {
   Cluster cluster(TestConfig("VVV", 41));
   ASSERT_TRUE(cluster.LoadInitialRow(kGroup, "r", {{"a", "0"}}).ok());
