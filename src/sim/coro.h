@@ -10,6 +10,13 @@
 //                 ignored), which is how response-vs-timeout races resolve.
 //                 Waiters are resumed through the event queue, never inline,
 //                 preserving deterministic execution order.
+//  * WhenAll / Gather<T>
+//               — fan-out join: runs N child coroutines (and, for WhenAll,
+//                 Future<T> dependencies) concurrently and completes when
+//                 every one has resolved. Gather additionally collects the
+//                 children's results in input order, independent of
+//                 completion order. The joined waiter is resumed only
+//                 through the event queue, so fan-out stays deterministic.
 //  * SleepFor   — awaitable virtual-time delay.
 #pragma once
 
@@ -19,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.h"
 
@@ -263,6 +271,207 @@ class Promise {
 
  private:
   std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+namespace internal {
+
+/// Shared bookkeeping of one WhenAll/Gather join: a countdown of
+/// unresolved dependencies plus the (single) party waiting on the join.
+/// Delivery mirrors FutureState: the waiter is resumed through the event
+/// queue, never inline, and — when the join completes into a Promise —
+/// the Promise's own first-wins Set provides the race semantics.
+struct JoinCore {
+  explicit JoinCore(Simulator* s) : sim(s) {}
+
+  Simulator* sim;
+  size_t remaining = 0;
+  /// Set once the join has been awaited or Start()ed; dependencies that
+  /// resolve earlier only count down, they never deliver.
+  bool armed = false;
+  bool delivered = false;
+  std::coroutine_handle<> waiter;
+  std::optional<Promise<bool>> done;
+
+  void AddDependency() { ++remaining; }
+
+  void ChildDone() {
+    assert(remaining > 0 && "join countdown underflow");
+    --remaining;
+    MaybeDeliver();
+  }
+
+  void MaybeDeliver() {
+    if (remaining != 0 || delivered || !armed) return;
+    delivered = true;
+    if (waiter) {
+      auto h = waiter;
+      waiter = nullptr;
+      sim->ScheduleAfter(0, [h] { h.resume(); });
+    } else if (done.has_value()) {
+      done->Set(true);  // first-wins: a racing timeout may already have won
+    }
+  }
+};
+
+/// Detached driver of one WhenAll child: owns the child's frame for its
+/// whole run, then counts the join down. The frame is destroyed through
+/// the event queue (Coro's destructor defers), so teardown is safe even
+/// at the end of a symmetric-transfer chain.
+inline Task RunJoinChild(Coro<void> child, std::shared_ptr<JoinCore> core) {
+  co_await child;
+  core->ChildDone();
+}
+
+template <typename T>
+struct GatherState {
+  GatherState(Simulator* s, size_t n) : core(s), results(n) {}
+  JoinCore core;
+  /// Slot per child, in input order; optional because T (e.g. Result<V>)
+  /// need not be default-constructible.
+  std::vector<std::optional<T>> results;
+};
+
+template <typename T>
+Task RunGatherChild(Coro<T> child, std::shared_ptr<GatherState<T>> state,
+                    size_t index) {
+  state->results[index] = co_await child;
+  state->core.ChildDone();
+}
+
+}  // namespace internal
+
+/// Join of N dependencies — child coroutines and/or Futures — that
+/// completes when ALL of them have resolved. Usage:
+///
+///   WhenAll all(sim);
+///   all.Add(DoThing(a));            // lazy child: starts at await/Start
+///   all.Add(network->Call(...));    // hot future: already in flight
+///   co_await std::move(all);        // resumes (via the event queue) when
+///                                   // every dependency has resolved
+///
+/// To race the join against a timeout, complete it into a caller-owned
+/// Promise instead of awaiting — the Promise's first-wins Set is exactly
+/// the response-vs-timeout idiom the network layer uses:
+///
+///   Promise<bool> done(sim);
+///   all.Start(done);                               // Set(true) on join
+///   sim->ScheduleAfter(t, [done] { done.Set(false); });  // Set(false) on
+///   bool completed = co_await done.GetFuture();          // timeout
+///
+/// An abandoned join (the timeout won) keeps its children running in the
+/// background; they resolve through their own timeouts and their frames
+/// are reclaimed normally — no dependency may block forever, the same
+/// invariant every await in this codebase already relies on. A WhenAll
+/// destroyed without being awaited or Start()ed never starts its queued
+/// children; their frames are destroyed (deferred) with it.
+///
+/// Add() must not be called after the join was awaited or Start()ed, and
+/// the simulator must not run between the first Add and the await/Start
+/// (dependencies added in one synchronous block, as all call sites do).
+class [[nodiscard]] WhenAll {
+ public:
+  explicit WhenAll(Simulator* sim)
+      : core_(std::make_shared<internal::JoinCore>(sim)) {}
+
+  WhenAll(Simulator* sim, std::vector<Coro<void>> children) : WhenAll(sim) {
+    for (Coro<void>& child : children) Add(std::move(child));
+  }
+
+  WhenAll(WhenAll&&) = default;
+  WhenAll(const WhenAll&) = delete;
+  WhenAll& operator=(const WhenAll&) = delete;
+
+  /// Adds a lazy child coroutine; it starts when the join is awaited or
+  /// Start()ed, in Add order.
+  void Add(Coro<void> child) {
+    assert(!core_->armed && "Add after the join was awaited/started");
+    core_->AddDependency();
+    pending_.push_back(std::move(child));
+  }
+
+  /// Adds an already-in-flight Future dependency. Resolution is observed
+  /// through OnReady, i.e. through the event queue.
+  template <typename T>
+  void Add(Future<T> f) {
+    assert(!core_->armed && "Add after the join was awaited/started");
+    core_->AddDependency();
+    f.OnReady([core = core_](T&&) { core->ChildDone(); });
+  }
+
+  size_t size() const { return core_->remaining; }
+
+  /// Starts the children and arranges for `done` to be Set(true) once all
+  /// dependencies have resolved. `done` stays first-wins: anything else
+  /// (e.g. a timeout) may Set it first and the join's Set is ignored.
+  void Start(Promise<bool> done) {
+    core_->done = std::move(done);
+    Arm();
+  }
+
+  // Awaiter interface: `co_await std::move(when_all)`.
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    core_->waiter = h;
+    Arm();
+  }
+  void await_resume() noexcept {}
+
+ private:
+  void Arm() {
+    assert(!core_->armed && "join awaited/started twice");
+    core_->armed = true;
+    for (Coro<void>& child : pending_) {
+      internal::RunJoinChild(std::move(child), core_);
+    }
+    pending_.clear();
+    core_->MaybeDeliver();  // empty join (or all futures already resolved)
+  }
+
+  std::shared_ptr<internal::JoinCore> core_;
+  std::vector<Coro<void>> pending_;
+};
+
+/// WhenAll variant that collects the children's results:
+/// `std::vector<T> out = co_await Gather<T>(sim, std::move(children));`
+/// Results are ordered by input index, not completion order. An empty
+/// input completes (through the event queue) with an empty vector.
+template <typename T>
+class [[nodiscard]] Gather {
+ public:
+  Gather(Simulator* sim, std::vector<Coro<T>> children)
+      : state_(std::make_shared<internal::GatherState<T>>(sim,
+                                                          children.size())),
+        pending_(std::move(children)) {
+    state_->core.remaining = pending_.size();
+  }
+
+  Gather(Gather&&) = default;
+  Gather(const Gather&) = delete;
+  Gather& operator=(const Gather&) = delete;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    state_->core.waiter = h;
+    state_->core.armed = true;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      internal::RunGatherChild<T>(std::move(pending_[i]), state_, i);
+    }
+    pending_.clear();
+    state_->core.MaybeDeliver();  // empty join
+  }
+  std::vector<T> await_resume() {
+    std::vector<T> out;
+    out.reserve(state_->results.size());
+    for (std::optional<T>& slot : state_->results) {
+      assert(slot.has_value());
+      out.push_back(std::move(*slot));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<internal::GatherState<T>> state_;
+  std::vector<Coro<T>> pending_;
 };
 
 /// Awaitable virtual-time delay: `co_await SleepFor(sim, 10 * kMillisecond)`.

@@ -29,6 +29,7 @@ namespace paxoscp::txn {
 class CrossTxn;
 struct CrossTxnState;
 struct CrossCommitResult;
+struct CrossRead;
 
 class TransactionClient {
  public:
@@ -102,6 +103,58 @@ class TransactionClient {
   /// txn/cross.h for the protocol). Slots are already released.
   sim::Coro<CrossCommitResult> CommitCrossTxn(CrossTxnState* state);
 
+  /// One begin leg of BeginCrossTxn (fanned out with sim::Gather when
+  /// parallel_commit is on).
+  struct CrossBeginLeg {
+    Status status;  // default OK; the remaining fields valid iff ok()
+    LogPos read_pos = 0;
+    DcId leader_dc = kNoDc;
+    uint64_t max_cross_ts = 0;
+  };
+  sim::Coro<CrossBeginLeg> BeginCrossLeg(std::string group);
+
+  /// Shared coordinator-crash gate of one cross commit (D9): legs count
+  /// landed prepares into it and re-check it between Paxos instances, so
+  /// the crash_after_prepares fault trips mid-fan-out — some legs landed,
+  /// some abandoned mid-walk, some never proposed — exactly the
+  /// partial-parallel-prepare window recovery must close.
+  struct CrossCrashGate {
+    int threshold = -1;  // -1: never crash
+    int landed = 0;
+    bool Tripped() const { return threshold >= 0 && landed >= threshold; }
+  };
+
+  /// Outcome of one Phase-1 prepare leg.
+  struct CrossPrepareOutcome {
+    enum class Kind { kPrepared, kConflict, kUnavailable, kAbandoned };
+    Kind kind = Kind::kAbandoned;
+    /// Prepare position, 0 if none landed. A kConflict leg can still carry
+    /// a position: an own-preceded-by-younger prepare is in the log (and
+    /// counts toward the crash gate) but must abort.
+    LogPos pos = 0;
+    int promotions = 0;
+    std::string detail;     // failure detail (kConflict / kUnavailable)
+    bool attempted = false;  // a prepare was proposed in this group
+  };
+
+  /// Walks one group's log until this transaction's prepare lands, a
+  /// commit-order or read-write conflict aborts it, the group is
+  /// unavailable, or the crash gate trips. Shared by both commit modes:
+  /// sequential awaits legs one at a time, parallel joins them with
+  /// sim::Gather. `state`, `gate` and `stats` outlive the leg (they live
+  /// in the awaiting CommitCrossTxn frame).
+  sim::Coro<CrossPrepareOutcome> PrepareCrossLeg(CrossTxnState* state,
+                                                 std::string group,
+                                                 CrossCrashGate* gate,
+                                                 CommitResult* stats);
+
+  /// Batched snapshot read across the legs of a cross transaction
+  /// (CrossTxn::ReadMany): one result per spec, in spec order, with the
+  /// per-leg reads issued concurrently. `reads` is owned by the awaiting
+  /// caller's frame.
+  sim::Coro<std::vector<Result<std::string>>> ReadItems(
+      CrossTxnState* state, const std::vector<CrossRead>* reads);
+
   /// Frees the per-group active slot (commit start, abort, handle drop).
   void ReleaseGroup(const std::string& group);
 
@@ -120,6 +173,22 @@ class TransactionClient {
   sim::Coro<DecideOutcome> ProposeDecide(std::string group, LogPos floor,
                                          TxnId id, bool commit,
                                          CommitResult* stats);
+
+  /// Polls the begin-serving replica path (home datacenter first, same
+  /// failover order as CallWithFailover) until `id`'s decide record is in
+  /// that replica's log. The instance-level apply is fire-and-forget, so a
+  /// decide can be "known" by the coordinator while the replica that will
+  /// serve the next begin has not applied it yet — without this barrier a
+  /// transaction begun right after Commit returns can read below a still-
+  /// pending prepare. Bounded and best-effort: an unreachable replica is
+  /// left to recovery.
+  sim::Coro<void> AwaitDecideApplied(std::string group, TxnId id);
+
+  /// One Phase-2 propagation leg: lands the canonical decision in `group`
+  /// and barriers on its apply (fanned out with sim::WhenAll under
+  /// parallel_commit).
+  sim::Coro<void> PropagateDecide(std::string group, LogPos floor, TxnId id,
+                                  bool commit, CommitResult* stats);
 
   /// Merged QueryCross over every reachable datacenter: prepare metadata
   /// from the first replica that has it, the canonical decision if any

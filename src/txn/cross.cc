@@ -31,6 +31,14 @@ sim::Coro<CrossCommitResult> FailedCommit(Status status) {
   co_return result;
 }
 
+sim::Coro<std::vector<Result<std::string>>> FailedReadMany(Status status,
+                                                           size_t n) {
+  std::vector<Result<std::string>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.emplace_back(status);
+  co_return out;
+}
+
 /// Shared commit order of cross-group transactions: (cross_ts, id),
 /// lexicographic. Committed prepares must appear in every participant
 /// log in increasing order of this key.
@@ -147,6 +155,17 @@ sim::Coro<Result<std::string>> CrossTxn::Read(std::string group,
   return client_->ReadItem(&it->second, std::move(row), std::move(attribute));
 }
 
+sim::Coro<std::vector<Result<std::string>>> CrossTxn::ReadMany(
+    const std::vector<CrossRead>* reads) {
+  if (!Usable("ReadMany")) {
+    return FailedReadMany(InertError("ReadMany"), reads->size());
+  }
+  // Forwarded like Read: the awaitable binds the heap-stable state, never
+  // `this`; per-spec validation happens inside (a bad spec fails only its
+  // own slot).
+  return client_->ReadItems(state_.get(), reads);
+}
+
 Status CrossTxn::Write(const std::string& group, const std::string& row,
                        const std::string& attribute, std::string value) {
   if (!Usable("Write")) return InertError("Write");
@@ -213,114 +232,148 @@ sim::Coro<CrossTxn> TransactionClient::BeginCrossTxn(
   // already in any prefix it will read under.
   uint64_t cross_ts = static_cast<uint64_t>(sim_->Now()) + 1;
 
-  for (const std::string& group : state->groups) {
-    ServiceRequest begin_request = BeginRequest{group, /*cross=*/true};
-    net::CallResult result = co_await CallWithFailover(&begin_request);
-    if (!result.status.ok()) {
-      for (const std::string& g : state->groups) active_groups_.erase(g);
-      co_return CrossTxn(result.status);
+  // One begin leg per participant — fanned out concurrently under
+  // parallel_commit (D9), sequential in sorted order otherwise. Gather
+  // returns the legs in input order, so the cross_ts fold and the error
+  // choice below are deterministic regardless of completion order.
+  std::vector<CrossBeginLeg> begins;
+  if (options_.parallel_commit) {
+    std::vector<sim::Coro<CrossBeginLeg>> legs;
+    legs.reserve(state->groups.size());
+    for (const std::string& group : state->groups) {
+      legs.push_back(BeginCrossLeg(group));
     }
-    const auto& response =
-        std::any_cast<const ServiceResponse&>(result.response);
-    const auto& begin = std::get<BeginResponse>(response);
+    sim::Gather<CrossBeginLeg> join(sim_, std::move(legs));
+    begins = co_await std::move(join);
+  } else {
+    for (const std::string& group : state->groups) {
+      CrossBeginLeg leg = co_await BeginCrossLeg(group);
+      const bool failed = !leg.status.ok();
+      begins.push_back(std::move(leg));
+      if (failed) break;
+    }
+  }
+  for (const CrossBeginLeg& leg : begins) {
+    if (!leg.status.ok()) {
+      for (const std::string& g : state->groups) active_groups_.erase(g);
+      co_return CrossTxn(leg.status);
+    }
+  }
+  for (size_t i = 0; i < state->groups.size(); ++i) {
+    const std::string& group = state->groups[i];
     TxnState& leg = state->legs[group];
     leg.txn.group = group;
     leg.txn.id = state->id;
-    leg.txn.read_pos = begin.read_pos;
-    leg.txn.leader_dc = begin.leader_dc;
-    if (begin.max_cross_ts >= cross_ts) cross_ts = begin.max_cross_ts + 1;
+    leg.txn.read_pos = begins[i].read_pos;
+    leg.txn.leader_dc = begins[i].leader_dc;
+    if (begins[i].max_cross_ts >= cross_ts) {
+      cross_ts = begins[i].max_cross_ts + 1;
+    }
   }
   state->cross_ts = cross_ts;
   co_return CrossTxn(this, std::move(state));
 }
 
+sim::Coro<TransactionClient::CrossBeginLeg> TransactionClient::BeginCrossLeg(
+    std::string group) {
+  CrossBeginLeg leg;
+  ServiceRequest begin_request = BeginRequest{group, /*cross=*/true};
+  net::CallResult result = co_await CallWithFailover(&begin_request);
+  if (!result.status.ok()) {
+    leg.status = result.status;
+    co_return leg;
+  }
+  const auto& response = std::any_cast<const ServiceResponse&>(result.response);
+  const auto& begin = std::get<BeginResponse>(response);
+  leg.read_pos = begin.read_pos;
+  leg.leader_dc = begin.leader_dc;
+  leg.max_cross_ts = begin.max_cross_ts;
+  co_return leg;
+}
+
+sim::Coro<std::vector<Result<std::string>>> TransactionClient::ReadItems(
+    CrossTxnState* state, const std::vector<CrossRead>* reads) {
+  std::vector<sim::Coro<Result<std::string>>> kids;
+  kids.reserve(reads->size());
+  for (const CrossRead& r : *reads) {
+    if (wal::IsReservedAttribute(r.attribute)) {
+      kids.push_back(FailedRead(wal::ReservedAttributeError()));
+      continue;
+    }
+    auto it = state->legs.find(r.group);
+    if (it == state->legs.end()) {
+      kids.push_back(FailedRead(Status::InvalidArgument(
+          "group '" + r.group +
+          "' is not a participant of this transaction")));
+      continue;
+    }
+    // Concurrent reads on one leg are safe: they share the leg's snapshot
+    // position, and the read set dedupes repeated observations of an item.
+    kids.push_back(ReadItem(&it->second, r.row, r.attribute));
+  }
+  sim::Gather<Result<std::string>> join(sim_, std::move(kids));
+  std::vector<Result<std::string>> out = co_await std::move(join);
+  co_return out;
+}
+
 sim::Coro<CrossCommitResult> TransactionClient::CommitCrossTxn(
     CrossTxnState* state) {
   CrossCommitResult result;
-  CommitResult scratch;  // per-walk Paxos bookkeeping
+  CommitResult scratch;  // per-walk Paxos bookkeeping, shared by all legs
   const TimeMicros start = sim_->Now();
   const TxnId id = state->id;
-  const uint64_t ts = state->cross_ts;
 
   // ---- Phase 1: commit a PREPARE record into every participant log.
-  // Sequential in sorted group order (deterministic; the latency cost is
-  // the price of 2PC). Stops at the first conflict or unknown leg.
+  // Concurrent under parallel_commit (D9): one leg coroutine per group,
+  // joined with sim::Gather, so the phase costs one prepare walk of
+  // wide-area rounds regardless of participant count. The sequential mode
+  // awaits the same legs one at a time in sorted group order and stops at
+  // the first failure, reproducing the one-group-at-a-time coordinator.
+  // Either way the outcomes are aggregated below in sorted group order,
+  // so conflict choice and failure detail are deterministic under any
+  // completion order.
+  CrossCrashGate gate;  // crash_after_prepares fault hook (see client.h)
+  gate.threshold = options_.crash_after_prepares;
+  std::vector<CrossPrepareOutcome> outcomes;
+  if (options_.parallel_commit) {
+    std::vector<sim::Coro<CrossPrepareOutcome>> legs;
+    legs.reserve(state->groups.size());
+    for (const std::string& group : state->groups) {
+      legs.push_back(PrepareCrossLeg(state, group, &gate, &scratch));
+    }
+    sim::Gather<CrossPrepareOutcome> join(sim_, std::move(legs));
+    outcomes = co_await std::move(join);
+  } else {
+    for (const std::string& group : state->groups) {
+      CrossPrepareOutcome leg =
+          co_await PrepareCrossLeg(state, group, &gate, &scratch);
+      const bool stop = leg.kind != CrossPrepareOutcome::Kind::kPrepared;
+      outcomes.push_back(std::move(leg));
+      if (stop) break;
+    }
+  }
+
   bool conflict = false;
   bool prepare_unknown = false;
-  bool coordinator_crashed = false;
   std::string fail_detail;
   std::vector<std::string> attempted;  // groups where a prepare was proposed
-  // Fault-injection hook (evaluated before the first leg and after each
-  // landed prepare, so partially-prepared crashes — group A prepared,
-  // group B never contacted — are reachable): the coordinator walks away
-  // mid-2PC, leaving no decide anywhere, for recovery to clean up.
-  auto crash_now = [&]() {
-    return options_.crash_after_prepares >= 0 &&
-           static_cast<int>(result.prepare_positions.size()) >=
-               options_.crash_after_prepares;
-  };
-  for (const std::string& group : state->groups) {
-    if (crash_now()) {
-      coordinator_crashed = true;
-      break;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const CrossPrepareOutcome& leg = outcomes[i];
+    if (leg.attempted) attempted.push_back(state->groups[i]);
+    if (leg.pos != 0) result.prepare_positions[state->groups[i]] = leg.pos;
+    result.promotions += leg.promotions;
+    if (conflict || prepare_unknown) continue;  // first failure (in sorted
+                                                // group order) wins
+    if (leg.kind == CrossPrepareOutcome::Kind::kConflict) {
+      conflict = true;
+      fail_detail = leg.detail;
+    } else if (leg.kind == CrossPrepareOutcome::Kind::kUnavailable) {
+      prepare_unknown = true;
+      fail_detail = leg.detail;
     }
-    TxnState& leg = state->legs[group];
-    wal::TxnRecord record = leg.txn.ToRecord(home_);
-    record.kind = wal::RecordKind::kPrepare;
-    record.cross_ts = ts;
-    record.participants = state->groups;
-    wal::LogEntry own;
-    own.txns.push_back(record);
-    own.winner_dc = home_;
-
-    attempted.push_back(group);
-    LogPos pos = leg.txn.read_pos + 1;
-    DcId leader = leg.txn.leader_dc;
-    for (;;) {
-      InstanceOutcome outcome =
-          co_await RunInstance(group, pos, &own, leader, &scratch);
-      if (outcome.kind == InstanceOutcome::Kind::kUnavailable) {
-        prepare_unknown = true;
-        fail_detail = "prepare on '" + group + "' reached no quorum";
-        break;
-      }
-      if (outcome.kind == InstanceOutcome::Kind::kWon ||
-          outcome.decided.ContainsTxn(id)) {
-        // Landed (possibly combined into another proposer's entry). A
-        // younger prepare ahead of ours *within* the entry still violates
-        // the shared commit order — the prepare stays in the log but the
-        // transaction must abort (the decide makes it a no-op).
-        if (OwnPrecededByYounger(outcome.decided, ts, id)) {
-          conflict = true;
-          fail_detail = "commit-order violation inside entry " +
-                        std::to_string(pos) + " of '" + group + "'";
-        }
-        result.prepare_positions[group] = pos;
-        break;
-      }
-      // Lost the position. A younger cross prepare already in the log
-      // means landing anywhere later would violate the shared order.
-      if (HasYoungerPrepare(outcome.decided, ts, id)) {
-        conflict = true;
-        fail_detail = "younger cross-group prepare at position " +
-                      std::to_string(pos) + " of '" + group + "'";
-        break;
-      }
-      if (PromotionConflicts(record, outcome.decided)) {
-        conflict = true;
-        fail_detail = "read-write conflict with winner of position " +
-                      std::to_string(pos) + " in '" + group + "'";
-        break;
-      }
-      ++result.promotions;
-      leader = outcome.decided.winner_dc;
-      ++pos;
-    }
-    if (conflict || prepare_unknown) break;
   }
-  if (!coordinator_crashed && crash_now()) coordinator_crashed = true;
 
-  if (coordinator_crashed) {
+  if (gate.Tripped()) {
     result.unknown = true;
     result.prepare_rounds = scratch.prepare_rounds;
     result.status = Status::Unavailable(
@@ -363,18 +416,46 @@ sim::Coro<CrossCommitResult> TransactionClient::CommitCrossTxn(
     co_return result;
   }
   result.decide_pos = decide.pos;
+  // The canonical decide is the commit point: the outcome is durable from
+  // here, whatever happens to the propagation below.
+  result.decision_latency = sim_->Now() - start;
 
   // Propagate the canonical decision to every group where a prepare was
-  // (or may later be) in the log. Best effort: an unreachable participant
-  // is resolved by recovery against the commit group's canonical decide.
-  for (const std::string& group : attempted) {
-    if (group == commit_group) continue;
-    LogPos gfloor = state->legs[group].txn.read_pos + 1;
-    if (auto it = result.prepare_positions.find(group);
-        it != result.prepare_positions.end()) {
-      gfloor = it->second + 1;
+  // (or may later be) in the log — concurrently under parallel_commit
+  // (one extra round flat in participant count). Must start only AFTER
+  // the canonical decide is known: a participant-group decide is a copy
+  // of the canonical one, and fanning out the *proposed* outcome early
+  // could race a recovery abort in the commit group into divergence.
+  // Each leg barriers on the begin-serving replica applying its decide
+  // (AwaitDecideApplied), and the commit group gets the same barrier, so
+  // Commit's read-your-effects promise holds: a begin issued after this
+  // returns sees every group's new frontier. Best effort: an unreachable
+  // participant is resolved by recovery against the commit group's
+  // canonical decide.
+  if (options_.parallel_commit) {
+    sim::WhenAll join(sim_);
+    join.Add(AwaitDecideApplied(commit_group, id));
+    for (const std::string& group : attempted) {
+      if (group == commit_group) continue;
+      LogPos gfloor = state->legs[group].txn.read_pos + 1;
+      if (auto it = result.prepare_positions.find(group);
+          it != result.prepare_positions.end()) {
+        gfloor = it->second + 1;
+      }
+      join.Add(PropagateDecide(group, gfloor, id, decide.commit, &scratch));
     }
-    (void)co_await ProposeDecide(group, gfloor, id, decide.commit, &scratch);
+    co_await join;
+  } else {
+    co_await AwaitDecideApplied(commit_group, id);
+    for (const std::string& group : attempted) {
+      if (group == commit_group) continue;
+      LogPos gfloor = state->legs[group].txn.read_pos + 1;
+      if (auto it = result.prepare_positions.find(group);
+          it != result.prepare_positions.end()) {
+        gfloor = it->second + 1;
+      }
+      co_await PropagateDecide(group, gfloor, id, decide.commit, &scratch);
+    }
   }
   result.prepare_rounds = scratch.prepare_rounds;
 
@@ -393,6 +474,86 @@ sim::Coro<CrossCommitResult> TransactionClient::CommitCrossTxn(
   }
   result.latency = sim_->Now() - start;
   co_return result;
+}
+
+sim::Coro<TransactionClient::CrossPrepareOutcome>
+TransactionClient::PrepareCrossLeg(CrossTxnState* state, std::string group,
+                                   CrossCrashGate* gate,
+                                   CommitResult* stats) {
+  CrossPrepareOutcome out;
+  const TxnId id = state->id;
+  const uint64_t ts = state->cross_ts;
+  // Crash gate, checked before proposing anything: in sequential mode
+  // this is the classic "crashed before contacting the next group"
+  // window; in parallel mode it only fires here when the threshold is
+  // zero (all legs start before any prepare lands).
+  if (gate->Tripped()) co_return out;  // kAbandoned, attempted=false
+
+  TxnState& leg = state->legs[group];
+  wal::TxnRecord record = leg.txn.ToRecord(home_);
+  record.kind = wal::RecordKind::kPrepare;
+  record.cross_ts = ts;
+  record.participants = state->groups;
+  wal::LogEntry own;
+  own.txns.push_back(record);
+  own.winner_dc = home_;
+
+  out.attempted = true;
+  LogPos pos = leg.txn.read_pos + 1;
+  DcId leader = leg.txn.leader_dc;
+  for (;;) {
+    InstanceOutcome outcome =
+        co_await RunInstance(group, pos, &own, leader, stats);
+    if (outcome.kind == InstanceOutcome::Kind::kUnavailable) {
+      out.kind = CrossPrepareOutcome::Kind::kUnavailable;
+      out.detail = "prepare on '" + group + "' reached no quorum";
+      co_return out;
+    }
+    if (outcome.kind == InstanceOutcome::Kind::kWon ||
+        outcome.decided.ContainsTxn(id)) {
+      // Landed (possibly combined into another proposer's entry). A
+      // younger prepare ahead of ours *within* the entry still violates
+      // the shared commit order — the prepare stays in the log but the
+      // transaction must abort (the decide makes it a no-op).
+      out.pos = pos;
+      ++gate->landed;
+      if (OwnPrecededByYounger(outcome.decided, ts, id)) {
+        out.kind = CrossPrepareOutcome::Kind::kConflict;
+        out.detail = "commit-order violation inside entry " +
+                     std::to_string(pos) + " of '" + group + "'";
+      } else {
+        out.kind = CrossPrepareOutcome::Kind::kPrepared;
+      }
+      co_return out;
+    }
+    // Lost the position. A younger cross prepare already in the log
+    // means landing anywhere later would violate the shared order.
+    if (HasYoungerPrepare(outcome.decided, ts, id)) {
+      out.kind = CrossPrepareOutcome::Kind::kConflict;
+      out.detail = "younger cross-group prepare at position " +
+                   std::to_string(pos) + " of '" + group + "'";
+      co_return out;
+    }
+    if (PromotionConflicts(record, outcome.decided)) {
+      out.kind = CrossPrepareOutcome::Kind::kConflict;
+      out.detail = "read-write conflict with winner of position " +
+                   std::to_string(pos) + " in '" + group + "'";
+      co_return out;
+    }
+    // Re-check the gate before walking on: in parallel mode, prepares
+    // landing on other legs can trip the coordinator mid-walk, leaving
+    // this leg abandoned between positions — the partial-parallel-prepare
+    // window. (Never fires in sequential mode: earlier legs' landings
+    // would have tripped the gate before this leg started, and this leg's
+    // own landing exits above.)
+    if (gate->Tripped()) {
+      out.kind = CrossPrepareOutcome::Kind::kAbandoned;
+      co_return out;
+    }
+    ++out.promotions;
+    leader = outcome.decided.winner_dc;
+    ++pos;
+  }
 }
 
 sim::Coro<TransactionClient::DecideOutcome> TransactionClient::ProposeDecide(
@@ -434,6 +595,36 @@ sim::Coro<TransactionClient::DecideOutcome> TransactionClient::ProposeDecide(
     ++pos;
   }
   co_return out;
+}
+
+sim::Coro<void> TransactionClient::AwaitDecideApplied(std::string group,
+                                                      TxnId id) {
+  // The apply broadcast (AcceptAndApply step 5) is fire-and-forget, and
+  // message delivery is not FIFO: a begin issued right after Commit
+  // returns can overtake the in-flight apply and read below the still-
+  // pending prepare. Poll the same replica path begins use until the
+  // decide is in its log. One round suffices unless the apply is delayed;
+  // the bound only guards against a replica that never catches up (its
+  // pending prepare is then recovery's problem, not Commit's).
+  constexpr int kMaxApplyPolls = 64;
+  for (int i = 0; i < kMaxApplyPolls; ++i) {
+    ServiceRequest query = QueryCrossRequest{group, id};
+    net::CallResult result = co_await CallWithFailover(&query);
+    if (!result.status.ok()) co_return;
+    const auto& response =
+        std::any_cast<const ServiceResponse&>(result.response);
+    if (std::get<QueryCrossResponse>(response).has_decision) co_return;
+    co_await sim::SleepFor(sim_, RandomBackoff());
+  }
+}
+
+sim::Coro<void> TransactionClient::PropagateDecide(std::string group,
+                                                   LogPos floor, TxnId id,
+                                                   bool commit,
+                                                   CommitResult* stats) {
+  DecideOutcome landed = co_await ProposeDecide(group, floor, id, commit,
+                                                stats);
+  if (landed.known) co_await AwaitDecideApplied(group, id);
 }
 
 // ------------------------------------------------------------- recovery

@@ -69,11 +69,28 @@ struct CrossCommitResult {
                            // never conflict, so their walk length is not
                            // a contention signal)
   int prepare_rounds = 0;  // summed Paxos prepare rounds, all walks
+  /// Wall-clock from commit start until Commit resumed the caller —
+  /// includes Phase-2 propagation to the non-commit participants, which
+  /// Commit awaits so that a transaction begun after commit returns
+  /// observes the effects on every group.
   TimeMicros latency = 0;
+  /// Wall-clock from commit start until the canonical decide landed in
+  /// the commit group — the commit point, after which the outcome is
+  /// durable and recovery can only confirm it. With parallel fan-out
+  /// (D9) this is ~2 wide-area rounds regardless of participant count.
+  /// 0 when no decide landed (crash / unknown).
+  TimeMicros decision_latency = 0;
 };
 
 /// Maps a finished cross-group commit onto the shared outcome taxonomy.
 TxnOutcome ClassifyCrossCommit(const CrossCommitResult& result);
+
+/// One read spec of CrossTxn::ReadMany: an item on one participant leg.
+struct CrossRead {
+  std::string group;
+  std::string row;
+  std::string attribute;
+};
 
 /// Client-side state of one active cross-group transaction: one
 /// single-group leg (read position, read set, buffered writes) per
@@ -113,6 +130,14 @@ class CrossTxn {
   /// Snapshot read on one participant group (A1/A2 semantics per leg).
   sim::Coro<Result<std::string>> Read(std::string group, std::string row,
                                       std::string attribute);
+
+  /// Batched snapshot read: issues the specs' reads concurrently (joined
+  /// with sim::Gather) and returns one Result per spec, in spec order —
+  /// an invalid spec (reserved attribute, non-participant group) fails
+  /// only its own slot. `reads` must stay alive while the caller awaits
+  /// (it does when the caller owns it and awaits immediately).
+  sim::Coro<std::vector<Result<std::string>>> ReadMany(
+      const std::vector<CrossRead>* reads);
 
   /// Buffers a write on one participant group.
   Status Write(const std::string& group, const std::string& row,

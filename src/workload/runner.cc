@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "sim/coro.h"
@@ -178,24 +180,39 @@ sim::Coro<void> RunOneTxnMulti(RunContext* ctx, txn::Session* session,
     co_return;
   }
   const TxnId id = txn.id();
-  for (const Op& op : plan.ops) {
-    const std::string& group = groups[op.group];
-    if (op.is_read) {
-      Result<std::string> value = co_await txn.Read(group, row, op.attribute);
-      if (!value.ok()) {
-        txn.Abort();
-        ++stats.failed;
-        ++stats.cross_unavailable;
-        if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
-        core::ClientOutcome outcome;
-        outcome.id = id;
-        outcome.committed = false;
-        outcome.groups = groups;
-        stats.outcomes.push_back(outcome);
-        co_return;
-      }
-    } else {
-      (void)txn.Write(group, row, op.attribute, op.value);
+  // Ops run in plan order, but each maximal run of consecutive reads is
+  // batched into one ReadMany fan-out — the legs' snapshot reads go out
+  // concurrently (D9). A write ends the batch, so read-your-writes
+  // ordering within the transaction is untouched.
+  for (size_t op_index = 0; op_index < plan.ops.size();) {
+    if (!plan.ops[op_index].is_read) {
+      const Op& op = plan.ops[op_index];
+      (void)txn.Write(groups[op.group], row, op.attribute, op.value);
+      ++op_index;
+      continue;
+    }
+    std::vector<txn::CrossRead> batch;
+    while (op_index < plan.ops.size() && plan.ops[op_index].is_read) {
+      const Op& op = plan.ops[op_index];
+      batch.push_back(txn::CrossRead{groups[op.group], row, op.attribute});
+      ++op_index;
+    }
+    std::vector<Result<std::string>> values = co_await txn.ReadMany(&batch);
+    bool read_failed = false;
+    for (const Result<std::string>& value : values) {
+      if (!value.ok()) read_failed = true;
+    }
+    if (read_failed) {
+      txn.Abort();
+      ++stats.failed;
+      ++stats.cross_unavailable;
+      if (WindowCounts* w = WindowFor(ctx, started_at)) ++w->unavailable;
+      core::ClientOutcome outcome;
+      outcome.id = id;
+      outcome.committed = false;
+      outcome.groups = groups;
+      stats.outcomes.push_back(outcome);
+      co_return;
     }
   }
 
@@ -226,6 +243,7 @@ sim::Coro<void> RunOneTxnMulti(RunContext* ctx, txn::Session* session,
       stats.latency_by_round[result.promotions].Record(result.latency);
       stats.latency_committed.Record(result.latency);
       stats.latency_cross.Record(result.latency);
+      stats.latency_cross_decision.Record(result.decision_latency);
       stats.latency_by_dc[dc].Record(result.latency);
       stats.max_promotions = std::max(stats.max_promotions,
                                       result.promotions);
@@ -256,24 +274,34 @@ sim::Coro<void> RunOneTxnMulti(RunContext* ctx, txn::Session* session,
 /// its frontier and then forward until it hits a genuinely undecided one,
 /// materializing every decided entry so the (L1) check compares client
 /// outcomes against the history a recovered system would actually serve.
+sim::Coro<void> RecoverOneTail(core::Cluster* cluster, std::string group,
+                               DcId dc) {
+  txn::TransactionService* service = cluster->service(dc);
+  for (LogPos pos = 1;; ++pos) {
+    if (service->GroupLog(group)->HasEntry(pos)) continue;
+    Status learned = co_await service->LearnEntry(group, pos);
+    if (learned.ok()) continue;
+    if (pos > service->GroupLog(group)->MaxDecided()) {
+      break;  // undecided tail (or unhealed partition)
+    }
+    // A hole below the frontier should always be learnable once the
+    // network heals; if it is not, keep going and let the checker
+    // report the gap honestly.
+  }
+}
+
 sim::Task RecoverDecidedTail(RunContext* ctx) {
+  // One learner per (group, replica), joined with WhenAll: each learns
+  // only its own log, so the fan-out cannot interfere with itself and the
+  // quiesce costs one tail walk of wall-clock instead of groups × dcs.
   core::Cluster* cluster = ctx->cluster;
+  sim::WhenAll all(cluster->simulator());
   for (const std::string& group : ctx->group_names) {
     for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
-      txn::TransactionService* service = cluster->service(dc);
-      for (LogPos pos = 1;; ++pos) {
-        if (service->GroupLog(group)->HasEntry(pos)) continue;
-        Status learned = co_await service->LearnEntry(group, pos);
-        if (learned.ok()) continue;
-        if (pos > service->GroupLog(group)->MaxDecided()) {
-          break;  // undecided tail (or unhealed partition)
-        }
-        // A hole below the frontier should always be learnable once the
-        // network heals; if it is not, keep going and let the checker
-        // report the gap honestly.
-      }
+      all.Add(RecoverOneTail(cluster, group, dc));
     }
   }
+  co_await std::move(all);
 }
 
 /// Second quiesce stage for cross-group runs: resolves every prepared-but-
@@ -281,23 +309,49 @@ sim::Task RecoverDecidedTail(RunContext* ctx) {
 /// (learn-or-force the canonical decision in the commit group, propagate
 /// it to the participants), exactly what a recovering production system
 /// would do before serving reads past the prepare.
-sim::Task ResolveCrossPending(RunContext* ctx,
-                              txn::TransactionClient* recovery_client) {
+sim::Coro<void> RecoverOneCross(txn::TransactionClient* recovery_client,
+                                std::string group, TxnId id) {
+  Status resolved = co_await recovery_client->RecoverCrossTxn(group, id);
+  if (!resolved.ok()) {
+    PAXOSCP_LOG(kWarn) << "cross recovery of " << TxnIdToString(id) << " in "
+                       << group << ": " << resolved.ToString();
+  }
+}
+
+/// Pending cross transactions, deduplicated by id (one recovery resolves
+/// the canonical decision and propagates it to every participant, so the
+/// old once-per-replica sweep was pure redundancy), each tagged with the
+/// first group it was observed pending in.
+std::vector<std::pair<std::string, TxnId>> PendingCrossWork(RunContext* ctx) {
   core::Cluster* cluster = ctx->cluster;
+  std::set<TxnId> seen;
+  std::vector<std::pair<std::string, TxnId>> work;
   for (const std::string& group : ctx->group_names) {
     for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
-      const std::vector<wal::PendingPrepare> pending =
-          cluster->service(dc)->GroupLog(group)->PendingPrepares();
-      for (const wal::PendingPrepare& p : pending) {
-        Status resolved =
-            co_await recovery_client->RecoverCrossTxn(group, p.txn);
-        if (!resolved.ok()) {
-          PAXOSCP_LOG(kWarn)
-              << "cross recovery of " << TxnIdToString(p.txn) << " in "
-              << group << ": " << resolved.ToString();
-        }
+      for (const wal::PendingPrepare& p :
+           cluster->service(dc)->GroupLog(group)->PendingPrepares()) {
+        if (seen.insert(p.txn).second) work.emplace_back(group, p.txn);
       }
     }
+  }
+  return work;
+}
+
+sim::Task ResolveCrossPending(RunContext* ctx,
+                              txn::TransactionClient* recovery_client) {
+  // First pass: all pending transactions recovered concurrently (they are
+  // independent: distinct ids, and concurrent decide walks on one log are
+  // ordinary Paxos traffic). A second sweep catches anything the first
+  // pass could not resolve — e.g. a replica still partitioned during the
+  // fan-out — after the first pass's decides have settled.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::pair<std::string, TxnId>> work = PendingCrossWork(ctx);
+    if (work.empty()) co_return;
+    sim::WhenAll all(ctx->cluster->simulator());
+    for (const auto& [group, id] : work) {
+      all.Add(RecoverOneCross(recovery_client, group, id));
+    }
+    co_await std::move(all);
   }
 }
 

@@ -95,6 +95,11 @@ struct RunStats {
   int cross_unavailable = 0;
   Histogram latency_cross;          // committed cross txns, microseconds
   Histogram latency_single_multi;   // committed single-group txns, same runs
+  /// Commit-point latency of committed cross txns (CrossCommitResult::
+  /// decision_latency): time until the canonical decide landed, excluding
+  /// the awaited Phase-2 propagation. With parallel fan-out (D9) this
+  /// stays ~2 wide-area rounds regardless of participant count.
+  Histogram latency_cross_decision;
 
   /// Commit rate over cross-group transactions only.
   double CrossCommitRate() const {

@@ -116,10 +116,15 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
     // A third of the cross runs use a crashing coordinator: it abandons
     // the transaction between prepare and decide (after 1 or 2 prepares
     // landed), leaving the 2PC window for recovery to close — under
-    // whatever outages/partitions the fault plan throws at it.
+    // whatever outages/partitions the fault plan throws at it. Most runs
+    // keep the default parallel fan-out (D9), so those crashes land in
+    // partial-parallel-prepare windows (every leg in flight when the gate
+    // trips); a quarter pin the sequential coordinator to keep the
+    // one-group-at-a-time windows covered too.
     if (rng.Uniform(3) == 0) {
       runner.client.crash_after_prepares = 1 + static_cast<int>(rng.Uniform(2));
     }
+    runner.client.parallel_commit = seed % 4 != 3;
   }
   result.stats = workload::RunExperiment(&cluster, runner);
 

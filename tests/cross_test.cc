@@ -19,6 +19,8 @@
 #include "txn/txn.h"
 #include "wal/log.h"
 #include "wal/log_entry.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
 
 namespace paxoscp {
 namespace {
@@ -282,6 +284,52 @@ TEST(CrossTxnTest, AtomicTransferAcrossGroups) {
   EXPECT_TRUE(report.ok) << report.ToString();
 }
 
+TEST(CrossTxnTest, ReadManyReturnsSpecOrderWithPerSlotFailures) {
+  // The batched read (D9) fans the specs out concurrently but must return
+  // results in spec order, and an invalid spec — reserved attribute,
+  // non-participant group — fails only its own slot.
+  Db db(TestConfig());
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "1"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "2"}}).ok());
+  Session session = db.Session(0);
+
+  struct Probe {
+    std::vector<Result<std::string>> values;
+  } probe;
+  struct Run {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      // Deliberately out of group order, with a repeat and two bad specs.
+      const std::vector<txn::CrossRead> batch = {
+          {"b", "row", "y"},
+          {"a", "row", "x"},
+          {"a", "row", wal::kWholeRowAttribute},
+          {"c", "row", "x"},
+          {"b", "row", "y"},
+      };
+      out->values = co_await txn.ReadMany(&batch);
+      txn.Abort();
+    }
+  } run;
+  run(&session, &probe);
+  db.Run();
+
+  ASSERT_EQ(probe.values.size(), 5u);
+  ASSERT_TRUE(probe.values[0].ok()) << probe.values[0].status().ToString();
+  EXPECT_EQ(*probe.values[0], "2");
+  ASSERT_TRUE(probe.values[1].ok()) << probe.values[1].status().ToString();
+  EXPECT_EQ(*probe.values[1], "1");
+  EXPECT_EQ(probe.values[2].status().code(),
+            Status::Code::kInvalidArgument);  // reserved attribute
+  EXPECT_EQ(probe.values[3].status().code(),
+            Status::Code::kInvalidArgument);  // 'c' not a participant
+  ASSERT_TRUE(probe.values[4].ok()) << probe.values[4].status().ToString();
+  EXPECT_EQ(*probe.values[4], "2");
+}
+
 TEST(CrossTxnTest, RequiresPaxosCp) {
   Db db(TestConfig());
   ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
@@ -531,6 +579,11 @@ TEST(CrossRecoveryTest, PartialPrepareCrashIsRecovered) {
 
   ClientOptions crashy;
   crashy.crash_after_prepares = 1;
+  // Sequential mode: the "second group never contacted" window only
+  // exists for a one-group-at-a-time coordinator. (The parallel window —
+  // all legs in flight when the gate trips — is covered below in
+  // ParallelPartialPrepareCrashIsRecovered.)
+  crashy.parallel_commit = false;
   Session doomed = db.Session(0, crashy);
 
   struct Probe {
@@ -578,6 +631,91 @@ TEST(CrossRecoveryTest, PartialPrepareCrashIsRecovered) {
 
   EXPECT_TRUE(
       db.cluster()->service(0)->GroupLog("a")->PendingPrepares().empty());
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossRecoveryTest, ParallelPartialPrepareCrashIsRecovered) {
+  // The parallel-fan-out flavor of the partial-prepare window (D9): with
+  // both prepare legs in flight when the crash gate trips, anywhere from
+  // one to both prepares may have landed — whatever the interleaving,
+  // recovery must force abort through the commit group and release every
+  // pending prepare.
+  Db db(TestConfig(47));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 1;  // parallel_commit stays default (on)
+  Session doomed = db.Session(0, crashy);
+
+  struct Probe {
+    CrossCommitResult crash_commit;
+    TxnId crashed_id = 0;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active()) << txn.begin_status().ToString();
+      if (!txn.active()) co_return;
+      out->crashed_id = txn.id();
+      (void)txn.Write("a", "row", "x", "half");
+      (void)txn.Write("b", "row", "y", "half");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+
+  ASSERT_TRUE(probe.crash_commit.unknown)
+      << probe.crash_commit.status.ToString();
+  const size_t landed = probe.crash_commit.prepare_positions.size();
+  ASSERT_GE(landed, 1u);  // the gate trips only after a prepare landed
+  ASSERT_LE(landed, 2u);
+
+  // The window is real: some group holds a pending prepare. Find one to
+  // hand to recovery (any replica that knows it will do).
+  std::string stuck_group;
+  for (const std::string& group : {std::string("a"), std::string("b")}) {
+    for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+      if (!db.cluster()->service(dc)->GroupLog(group)->PendingPrepares()
+               .empty()) {
+        stuck_group = group;
+      }
+    }
+  }
+  ASSERT_FALSE(stuck_group.empty());
+
+  struct RecoveryProbe {
+    Status recovered = Status::Internal("unset");
+  } rec;
+  txn::TransactionClient* recovery =
+      db.cluster()->CreateClient(1, ClientOptions{});
+  struct RecoveryRun {
+    sim::Task operator()(txn::TransactionClient* c, std::string group,
+                         TxnId id, RecoveryProbe* out) {
+      out->recovered = co_await c->RecoverCrossTxn(group, id);
+    }
+  } recovery_run;
+  recovery_run(recovery, stuck_group, probe.crashed_id, &rec);
+  db.Run();
+  ASSERT_TRUE(rec.recovered.ok()) << rec.recovered.ToString();
+
+  // Every frontier is released and the forced abort kept the old values.
+  for (const std::string& group : {std::string("a"), std::string("b")}) {
+    for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+      EXPECT_TRUE(db.cluster()
+                      ->service(dc)
+                      ->GroupLog(group)
+                      ->PendingPrepares()
+                      .empty())
+          << "group " << group << " dc " << dc;
+    }
+  }
+  wal::WriteAheadLog* log_a = db.cluster()->service(0)->GroupLog("a");
+  ASSERT_TRUE(log_a->ApplyThrough(log_a->SafeReadPos()).ok());
+  EXPECT_EQ(log_a->ReadItem({"row", "x"}, log_a->SafeReadPos()).value, "0");
   core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
   EXPECT_TRUE(report.ok) << report.ToString();
 }
@@ -635,6 +773,86 @@ TEST(CrossRecoveryTest, RecoveryAdoptsExistingCommitDecision) {
   ASSERT_TRUE(log_a->ApplyThrough(log_a->SafeReadPos()).ok());
   wal::ItemRead x = log_a->ReadItem({"row", "x"}, log_a->SafeReadPos());
   EXPECT_EQ(x.value, "committed");
+}
+
+// ---------------------------------------------------------- determinism
+
+/// Order-independent digest of one group's decided log: fold every decided
+/// entry's fingerprint position-by-position (FNV-style). Two runs with the
+/// same seed must produce byte-identical logs, so the digests must match.
+uint64_t LogDigest(const wal::WriteAheadLog* log) {
+  uint64_t digest = 1469598103934665603ull;
+  for (LogPos pos = 1; pos <= log->MaxDecided(); ++pos) {
+    if (!log->HasEntry(pos)) continue;
+    Result<wal::LogEntry> entry = log->GetEntry(pos);
+    digest ^= pos;
+    digest *= 1099511628211ull;
+    digest ^= entry.ok() ? entry->Fingerprint() : 0;
+    digest *= 1099511628211ull;
+  }
+  return digest;
+}
+
+struct DeterminismRun {
+  workload::RunStats stats;
+  std::vector<uint64_t> digests;  // per group, per datacenter
+};
+
+DeterminismRun RunShardedWorkload(uint64_t seed) {
+  core::ClusterConfig config = TestConfig(911);
+  core::Cluster cluster(config);
+
+  workload::RunnerConfig runner;
+  runner.workload.num_attributes = 40;
+  runner.workload.num_groups = 3;
+  runner.workload.cross_fraction = 0.35;
+  runner.workload.groups_per_cross_txn = 3;
+  runner.total_txns = 90;
+  runner.num_threads = 3;
+  runner.stagger = 200 * kMillisecond;
+  runner.target_rate_tps = 1.0;
+  runner.seed = seed;  // parallel_commit stays default (on)
+
+  DeterminismRun out;
+  out.stats = workload::RunExperiment(&cluster, runner);
+  for (int i = 0; i < runner.workload.num_groups; ++i) {
+    const std::string name =
+        workload::Generator::GroupName(runner.workload, i);
+    for (DcId dc = 0; dc < config.num_datacenters(); ++dc) {
+      out.digests.push_back(LogDigest(cluster.service(dc)->GroupLog(name)));
+    }
+  }
+  return out;
+}
+
+TEST(CrossDeterminismTest, ShardedWorkloadReplaysIdentically) {
+  // The async fan-out (parallel begins, prepares, decide propagation,
+  // batched reads, concurrent client threads) must stay deterministic:
+  // every waiter resumes through the simulator's event queue, so a fixed
+  // seed replays to the same commits, the same logs, and the same checker
+  // verdict. This is what makes chaos seeds replayable.
+  DeterminismRun first = RunShardedWorkload(20260807);
+  DeterminismRun second = RunShardedWorkload(20260807);
+
+  EXPECT_EQ(first.stats.attempted, second.stats.attempted);
+  EXPECT_EQ(first.stats.committed, second.stats.committed);
+  EXPECT_EQ(first.stats.read_only, second.stats.read_only);
+  EXPECT_EQ(first.stats.aborted, second.stats.aborted);
+  EXPECT_EQ(first.stats.failed, second.stats.failed);
+  EXPECT_EQ(first.stats.cross_attempted, second.stats.cross_attempted);
+  EXPECT_EQ(first.stats.cross_committed, second.stats.cross_committed);
+  EXPECT_EQ(first.stats.cross_aborted, second.stats.cross_aborted);
+  EXPECT_EQ(first.stats.cross_unknown, second.stats.cross_unknown);
+  EXPECT_EQ(first.stats.messages_sent, second.stats.messages_sent);
+  EXPECT_EQ(first.stats.virtual_duration, second.stats.virtual_duration);
+  EXPECT_EQ(first.digests, second.digests);
+
+  // The workload actually exercised the parallel cross path, and both
+  // replicas of the run pass the full invariant check.
+  EXPECT_GT(first.stats.cross_attempted, 0);
+  EXPECT_GT(first.stats.cross_committed, 0);
+  EXPECT_TRUE(first.stats.check.ok) << first.stats.check.ToString();
+  EXPECT_TRUE(second.stats.check.ok) << second.stats.check.ToString();
 }
 
 // ------------------------------------------------------- checker coverage

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulator and coroutine primitives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -286,6 +287,24 @@ TEST(FutureTest, FirstSetWins) {
   EXPECT_TRUE(promise.IsSet());
 }
 
+TEST(FutureTest, SetAfterWaiterResumedIsIgnored) {
+  // Pins the other half of first-wins: a Set that arrives after the waiter
+  // has already been resumed (not merely after an earlier Set) must be a
+  // no-op. WhenAll's timeout races depend on this — the losing side of a
+  // race may fire arbitrarily late.
+  Simulator sim;
+  Promise<int> promise(&sim);
+  int out = 0;
+  AwaitFuture(promise.GetFuture(), &out);
+  sim.ScheduleAt(10, [&] { promise.Set(1); });
+  sim.RunUntil(20);
+  EXPECT_EQ(out, 1);  // waiter resumed with the first value
+  promise.Set(2);     // late loser: must not re-deliver or corrupt state
+  sim.Run();
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(promise.IsSet());
+}
+
 TEST(FutureTest, CallbackModeDeliversThroughQueue) {
   Simulator sim;
   Promise<std::string> promise(&sim);
@@ -305,6 +324,165 @@ TEST(FutureTest, CallbackAttachedAfterSet) {
   promise.GetFuture().OnReady([&](int&& v) { got = v; });
   sim.Run();
   EXPECT_EQ(got, 5);
+}
+
+// ----------------------------------------------------- WhenAll / Gather --
+
+Coro<int> ValueAfter(Simulator* sim, TimeMicros delay, int v) {
+  co_await SleepFor(sim, delay);
+  co_return v;
+}
+
+Coro<void> TouchAfter(Simulator* sim, TimeMicros delay, int* counter) {
+  co_await SleepFor(sim, delay);
+  ++*counter;
+}
+
+// NOTE: drivers take pointers, never aggregate class types by value, per the
+// coroutine-parameter rules documented in txn/client.h.
+Task DriveGather(Simulator* sim, std::vector<Coro<int>>* children,
+                 std::vector<int>* out, bool* done) {
+  Gather<int> g(sim, std::move(*children));
+  *out = co_await std::move(g);
+  *done = true;
+}
+
+Task DriveWhenAll(Simulator* sim, std::vector<Coro<void>>* children,
+                  bool* done) {
+  WhenAll all(sim, std::move(*children));
+  co_await std::move(all);
+  *done = true;
+}
+
+TEST(WhenAllTest, EmptySetCompletesThroughQueue) {
+  Simulator sim;
+  std::vector<Coro<void>> none;
+  bool done = false;
+  DriveWhenAll(&sim, &none, &done);
+  // Even an empty join resumes its waiter via the event queue, never inline.
+  EXPECT_FALSE(done);
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(WhenAllTest, GatherEmptyYieldsEmptyVector) {
+  Simulator sim;
+  std::vector<Coro<int>> none;
+  std::vector<int> out{1, 2, 3};  // sentinel: must be replaced by empty
+  bool done = false;
+  DriveGather(&sim, &none, &out, &done);
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WhenAllTest, SingleChild) {
+  Simulator sim;
+  std::vector<Coro<int>> kids;
+  kids.push_back(ValueAfter(&sim, 25, 42));
+  std::vector<int> out;
+  bool done = false;
+  DriveGather(&sim, &kids, &out, &done);
+  EXPECT_FALSE(done);
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(out, (std::vector<int>{42}));
+  EXPECT_EQ(sim.Now(), 25);
+}
+
+TEST(WhenAllTest, ResultsInInputOrderForEveryCompletionPermutation) {
+  // Three children with delays assigned by permutation: whatever order they
+  // complete in, Gather returns results by input index and the join fires
+  // exactly when the slowest child resolves.
+  const TimeMicros delays[3] = {10, 20, 30};
+  int perm[3] = {0, 1, 2};
+  do {
+    Simulator sim;
+    std::vector<Coro<int>> kids;
+    for (int i = 0; i < 3; ++i) {
+      kids.push_back(ValueAfter(&sim, delays[perm[i]], 100 + i));
+    }
+    std::vector<int> out;
+    bool done = false;
+    DriveGather(&sim, &kids, &out, &done);
+    sim.Run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(out, (std::vector<int>{100, 101, 102}))
+        << "perm " << perm[0] << perm[1] << perm[2];
+    EXPECT_EQ(sim.Now(), 30);  // join completes with the slowest child
+  } while (std::next_permutation(perm, perm + 3));
+}
+
+TEST(WhenAllTest, MixedCorosAndFuturesAllCountedOnce) {
+  Simulator sim;
+  int touched = 0;
+  Promise<int> p1(&sim), p2(&sim);
+  p1.Set(7);  // already resolved before the join is armed
+  WhenAll all(&sim);
+  all.Add(TouchAfter(&sim, 5, &touched));
+  all.Add(p1.GetFuture());
+  all.Add(p2.GetFuture());
+  all.Add(TouchAfter(&sim, 15, &touched));
+  EXPECT_EQ(all.size(), 4u);
+  Promise<bool> done(&sim);
+  std::move(all).Start(done);
+  sim.ScheduleAt(10, [&] { p2.Set(8); });
+  bool completed = false;
+  done.GetFuture().OnReady([&](bool&& v) { completed = v; });
+  sim.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(touched, 2);
+}
+
+TEST(WhenAllTest, NeverFiringDependencyLosesRaceToTimeout) {
+  // A join whose dependency never resolves must still let the caller make
+  // progress: racing the join against a timeout through one first-wins
+  // Promise, the timeout delivers false. The straggler is then resolved and
+  // the run drained, so teardown is provably leak-free (ASan-clean).
+  Simulator sim;
+  int touched = 0;
+  Promise<int> never(&sim);
+  WhenAll all(&sim);
+  all.Add(TouchAfter(&sim, 5, &touched));
+  all.Add(never.GetFuture());
+  Promise<bool> done(&sim);
+  std::move(all).Start(done);
+  sim.ScheduleAfter(1000, [done]() mutable { done.Set(false); });
+  bool completed = true;
+  bool resumed = false;
+  done.GetFuture().OnReady([&](bool&& v) {
+    completed = v;
+    resumed = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(resumed);
+  EXPECT_FALSE(completed);  // timeout won
+  EXPECT_EQ(touched, 1);    // the live child still ran to completion
+  // Late resolution of the straggler: the join's Set(true) loses first-wins.
+  never.Set(0);
+  sim.Run();
+  EXPECT_FALSE(completed);
+}
+
+TEST(WhenAllTest, DestroyedWithoutAwaitLeaksNothing) {
+  // A WhenAll/Gather abandoned before being awaited or Start()ed never
+  // starts its queued children; their frames are destroyed (deferred
+  // through the queue) with it. ASan verifies no frame leaks.
+  Simulator sim;
+  int touched = 0;
+  {
+    WhenAll all(&sim);
+    all.Add(TouchAfter(&sim, 5, &touched));
+    all.Add(TouchAfter(&sim, 10, &touched));
+  }  // dropped without await/Start
+  {
+    std::vector<Coro<int>> kids;
+    kids.push_back(ValueAfter(&sim, 5, 1));
+    Gather<int> g(&sim, std::move(kids));
+  }  // dropped without await
+  sim.Run();  // drains the deferred frame destructions
+  EXPECT_EQ(touched, 0);
 }
 
 // Two tasks awaiting sleeps interleave deterministically.
