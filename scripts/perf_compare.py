@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Compare two paxoscp-perf-v1 snapshots and flag regressions.
+
+Every bench binary emits a perf snapshot with --json (see
+bench/experiment_common.h, PerfReporter):
+
+    {
+      "schema": "paxoscp-perf-v1",
+      "binary": "fig4_replicas",
+      "benchmarks": {
+        "fig4/paxos-cp/VVV": {"ns_per_op": 123.4, "items_per_s": 8100.0}
+      }
+    }
+
+This script diffs the ns_per_op of every benchmark present in both files
+and prints a table of deltas. A benchmark regresses when its ns_per_op
+grows by more than the threshold (default 10%); per-bench overrides take
+precedence, matched by exact name first and then by longest prefix, so
+
+    perf_compare.py old.json new.json \
+        --threshold 10 --threshold-for recovery/=25 \
+        --threshold-for fig4/paxos-cp/VVV=5
+
+gives every recovery/* cell 25% headroom and one fig4 cell a tight 5%.
+
+Exit status is 0 unless --fail-on-regression is passed AND at least one
+regression was found (CI runs it without the flag first, as a
+non-blocking trend report). Structural mismatches (missing file, wrong
+schema, malformed JSON) always exit 2 — they mean the comparison itself
+is broken, not that performance moved.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_snapshot(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read perf snapshot '{path}': {e}")
+    if doc.get("schema") != "paxoscp-perf-v1":
+        die(
+            f"'{path}' has schema {doc.get('schema')!r}, "
+            "expected 'paxoscp-perf-v1'"
+        )
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict):
+        die(f"'{path}' has no 'benchmarks' object")
+    return doc
+
+
+def parse_overrides(pairs):
+    overrides = {}
+    for pair in pairs or []:
+        name, sep, pct = pair.rpartition("=")
+        if not sep or not name:
+            die(f"--threshold-for wants NAME=PCT, got '{pair}'")
+        try:
+            overrides[name] = float(pct)
+        except ValueError:
+            die(f"threshold '{pct}' for '{name}' is not a number")
+    return overrides
+
+
+def threshold_for(name, default, overrides):
+    if name in overrides:
+        return overrides[name]
+    # Longest-prefix match lets one override cover a family of cells
+    # ("recovery/" covers recovery/daemon_on and recovery/daemon_off).
+    best = None
+    for prefix, pct in overrides.items():
+        if name.startswith(prefix) and (best is None or len(prefix) > best[0]):
+            best = (len(prefix), pct)
+    return best[1] if best else default
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two paxoscp-perf-v1 snapshots (ns_per_op)."
+    )
+    parser.add_argument("baseline", help="older snapshot (the reference)")
+    parser.add_argument("current", help="newer snapshot (the candidate)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="default regression threshold in percent (default: 10)",
+    )
+    parser.add_argument(
+        "--threshold-for",
+        action="append",
+        metavar="NAME=PCT",
+        help="per-benchmark threshold; NAME may be a prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any benchmark exceeds its threshold",
+    )
+    args = parser.parse_args()
+
+    base = load_snapshot(args.baseline)
+    cur = load_snapshot(args.current)
+    overrides = parse_overrides(args.threshold_for)
+
+    base_benches = base["benchmarks"]
+    cur_benches = cur["benchmarks"]
+    names = sorted(set(base_benches) | set(cur_benches))
+
+    rows = []
+    regressions = []
+    for name in names:
+        b = base_benches.get(name)
+        c = cur_benches.get(name)
+        if b is None:
+            rows.append((name, "-", fmt_ns(c.get("ns_per_op")), "added", ""))
+            continue
+        if c is None:
+            rows.append((name, fmt_ns(b.get("ns_per_op")), "-", "removed", ""))
+            continue
+        b_ns, c_ns = b.get("ns_per_op"), c.get("ns_per_op")
+        if not isinstance(b_ns, (int, float)) or not isinstance(
+            c_ns, (int, float)
+        ) or b_ns <= 0:
+            rows.append((name, str(b_ns), str(c_ns), "unreadable", ""))
+            continue
+        delta = (c_ns - b_ns) / b_ns * 100.0
+        limit = threshold_for(name, args.threshold, overrides)
+        verdict = "ok"
+        if delta > limit:
+            verdict = "REGRESSION"
+            regressions.append((name, delta, limit))
+        elif delta < -limit:
+            verdict = "improved"
+        rows.append(
+            (name, fmt_ns(b_ns), fmt_ns(c_ns), f"{delta:+.1f}%",
+             f"{verdict} (limit {limit:g}%)")
+        )
+
+    headers = ("benchmark", "base ns/op", "cur ns/op", "delta", "verdict")
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print(
+        f"perf compare: {base.get('binary', '?')} "
+        f"({args.baseline} -> {args.current})"
+    )
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(col.ljust(w) for col, w in zip(row, widths)))
+
+    if regressions:
+        print()
+        for name, delta, limit in regressions:
+            print(
+                f"regression: {name} slowed by {delta:+.1f}% "
+                f"(threshold {limit:g}%)"
+            )
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+def fmt_ns(v):
+    return f"{v:,.1f}" if isinstance(v, (int, float)) else str(v)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

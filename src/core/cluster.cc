@@ -27,7 +27,21 @@ Cluster::Cluster(ClusterConfig config)
 }
 
 void Cluster::RestartService(DcId dc) {
+  // The recovery daemon (D10) survives a restart like the rest of the
+  // service's durable responsibilities: capture its state (and the group
+  // names, which live only in the in-memory group map) before retiring the
+  // old process, then re-discover pending prepares from the durable WAL
+  // side tables on the new one.
+  bool daemon_was_running = false;
+  txn::RecoveryDaemonOptions daemon_options;
+  std::vector<std::string> known_groups;
   if (services_[dc] != nullptr) {
+    daemon_was_running = services_[dc]->recovery_daemon_running();
+    if (daemon_was_running) {
+      daemon_options = services_[dc]->recovery_daemon_options();
+    }
+    known_groups = services_[dc]->KnownGroups();
+    services_[dc]->StopRecoveryDaemon();  // queued timers become no-ops
     retired_services_.push_back(std::move(services_[dc]));
   }
   services_[dc] = std::make_unique<txn::TransactionService>(
@@ -38,6 +52,8 @@ void Cluster::RestartService(DcId dc) {
       dc, [service](DcId from, const std::any* request) {
         return service->Handle(from, request);
       });
+  for (const std::string& group : known_groups) service->GroupLog(group);
+  if (daemon_was_running) service->StartRecoveryDaemon(daemon_options);
 }
 
 fault::FaultInjector* Cluster::ApplyFaultPlan(const fault::FaultPlan& plan) {

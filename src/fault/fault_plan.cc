@@ -17,6 +17,10 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kLossBurst: return "loss_burst";
     case FaultKind::kLossRestore: return "loss_restore";
     case FaultKind::kServiceRestart: return "service_restart";
+    case FaultKind::kDuplicateBurst: return "duplicate_burst";
+    case FaultKind::kDuplicateRestore: return "duplicate_restore";
+    case FaultKind::kReorderBurst: return "reorder_burst";
+    case FaultKind::kReorderRestore: return "reorder_restore";
   }
   return "?";
 }
@@ -41,10 +45,17 @@ std::string FaultEvent::ToString() const {
                     FaultKindName(kind), a, b);
       break;
     case FaultKind::kLossBurst:
+    case FaultKind::kDuplicateBurst:
       std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f", at / 1e6,
                     FaultKindName(kind), loss);
       break;
+    case FaultKind::kReorderBurst:
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f extra=%.3fs",
+                    at / 1e6, FaultKindName(kind), loss, extra / 1e6);
+      break;
     case FaultKind::kLossRestore:
+    case FaultKind::kDuplicateRestore:
+    case FaultKind::kReorderRestore:
       std::snprintf(buf, sizeof(buf), "t=%.3fs %s", at / 1e6,
                     FaultKindName(kind));
       break;
@@ -111,7 +122,7 @@ bool RandomPlanGenerator::Admissible(const std::vector<Episode>& taken,
 
 FaultPlan RandomPlanGenerator::Generate() {
   enum class Shape { kDcOutage, kLinkCut, kOneWayCut, kBisection, kLossBurst,
-                     kRestart };
+                     kRestart, kDuplicateBurst, kReorderBurst };
   const int d = envelope_.num_datacenters;
   std::vector<Shape> shapes;
   if (envelope_.allow_dc_outage) shapes.push_back(Shape::kDcOutage);
@@ -122,6 +133,13 @@ FaultPlan RandomPlanGenerator::Generate() {
   }
   if (envelope_.allow_loss_burst) shapes.push_back(Shape::kLossBurst);
   if (envelope_.allow_service_restart) shapes.push_back(Shape::kRestart);
+  // New shapes append after the originals so the shapes-vector indices of
+  // the pre-existing ones — and thus every historical (seed, envelope)
+  // plan with these flags off — are unchanged.
+  if (envelope_.allow_duplicate_burst) {
+    shapes.push_back(Shape::kDuplicateBurst);
+  }
+  if (envelope_.allow_reorder_burst) shapes.push_back(Shape::kReorderBurst);
 
   FaultPlan plan;
   if (shapes.empty()) return plan;
@@ -212,6 +230,32 @@ FaultPlan RandomPlanGenerator::Generate() {
           e.end = e.start;  // instantaneous
           events.push_back(
               {start, FaultKind::kServiceRestart, dc, kNoDc, 0});
+          break;
+        }
+        case Shape::kDuplicateBurst: {
+          const double p =
+              envelope_.min_duplicate_burst +
+              rng_.NextDouble() * (envelope_.max_duplicate_burst -
+                                   envelope_.min_duplicate_burst);
+          e.resources = {"dup"};
+          events.push_back(
+              {start, FaultKind::kDuplicateBurst, kNoDc, kNoDc, p});
+          events.push_back({start + duration, FaultKind::kDuplicateRestore,
+                            kNoDc, kNoDc, 0});
+          break;
+        }
+        case Shape::kReorderBurst: {
+          const double p =
+              envelope_.min_reorder_burst +
+              rng_.NextDouble() *
+                  (envelope_.max_reorder_burst - envelope_.min_reorder_burst);
+          const TimeMicros extra = static_cast<TimeMicros>(rng_.UniformRange(
+              1, std::max<TimeMicros>(envelope_.max_reorder_extra, 1)));
+          e.resources = {"reorder"};
+          events.push_back(
+              {start, FaultKind::kReorderBurst, kNoDc, kNoDc, p, extra});
+          events.push_back({start + duration, FaultKind::kReorderRestore,
+                            kNoDc, kNoDc, 0});
           break;
         }
       }

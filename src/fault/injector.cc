@@ -10,7 +10,10 @@ FaultInjector::FaultInjector(net::Network* network,
       restart_service_(std::move(restart_service)),
       // Captured once: a later Arm() call may land mid-burst, and
       // kLossRestore must return to the true baseline, not the burst.
-      baseline_loss_(network->loss_probability()) {}
+      baseline_loss_(network->loss_probability()),
+      baseline_duplicate_(network->duplicate_probability()),
+      baseline_reorder_(network->reorder_probability()),
+      baseline_reorder_extra_(network->reorder_extra_max()) {}
 
 void FaultInjector::Arm(const FaultPlan& plan) {
   sim::Simulator* sim = network_->simulator();
@@ -48,6 +51,20 @@ void FaultInjector::Apply(const FaultEvent& event) {
       break;
     case FaultKind::kServiceRestart:
       if (restart_service_) restart_service_(event.a);
+      break;
+    case FaultKind::kDuplicateBurst:
+      network_->set_duplicate_probability(event.loss);
+      break;
+    case FaultKind::kDuplicateRestore:
+      network_->set_duplicate_probability(baseline_duplicate_);
+      break;
+    case FaultKind::kReorderBurst:
+      network_->set_reorder_probability(event.loss);
+      network_->set_reorder_extra_max(event.extra);
+      break;
+    case FaultKind::kReorderRestore:
+      network_->set_reorder_probability(baseline_reorder_);
+      network_->set_reorder_extra_max(baseline_reorder_extra_);
       break;
   }
   applied_.push_back(event);

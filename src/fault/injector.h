@@ -41,7 +41,12 @@ class FaultInjector {
 
   net::Network* network_;
   std::function<void(DcId)> restart_service_;
-  double baseline_loss_;  // captured at construction
+  // Baselines captured at construction: a later Arm() may land mid-burst,
+  // and every *Restore event must return to the true baseline.
+  double baseline_loss_;
+  double baseline_duplicate_;
+  double baseline_reorder_;
+  TimeMicros baseline_reorder_extra_;
   std::vector<FaultEvent> applied_;
 };
 

@@ -44,7 +44,8 @@ Network::Network(sim::Simulator* sim,
     : sim_(sim),
       rtt_(std::move(rtt_matrix)),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      fault_rng_(options.seed ^ 0xd1b54a32d192ed03ULL) {
   const size_t n = rtt_.size();
   for (const auto& row : rtt_) {
     assert(row.size() == n && "rtt matrix must be square");
@@ -62,22 +63,32 @@ void Network::RegisterEndpoint(DcId dc, ServiceHandler handler) {
   handlers_[dc] = std::move(handler);
 }
 
-TimeMicros Network::SampleDelay(DcId from, DcId to) {
+TimeMicros Network::SampleDelayFrom(Rng* rng, DcId from, DcId to) {
   const TimeMicros one_way = rtt_[from][to] / 2;
   if (options_.latency_jitter <= 0 || one_way == 0) {
     return std::max<TimeMicros>(one_way, 1);
   }
-  const double j = (rng_.NextDouble() * 2 - 1) * options_.latency_jitter;
+  const double j = (rng->NextDouble() * 2 - 1) * options_.latency_jitter;
   const auto delayed = static_cast<TimeMicros>(
       static_cast<double>(one_way) * (1.0 + j));
   return std::max<TimeMicros>(delayed, 1);
 }
 
-bool Network::ShouldDrop(DcId from, DcId to) {
+bool Network::ShouldDropFrom(Rng* rng, DcId from, DcId to) {
   if (dc_down_[from] || dc_down_[to]) return true;
   if (link_down_[from][to]) return true;
-  if (from != to && rng_.Bernoulli(options_.loss_probability)) return true;
+  if (from != to && rng->Bernoulli(options_.loss_probability)) return true;
   return false;
+}
+
+TimeMicros Network::MaybeReorderExtra(DcId from, DcId to) {
+  if (options_.reorder_probability <= 0 || from == to) return 0;
+  if (!fault_rng_.Bernoulli(options_.reorder_probability)) return 0;
+  ++messages_reordered_;
+  const TimeMicros max_extra =
+      std::max<TimeMicros>(options_.reorder_extra_max, 1);
+  return 1 + static_cast<TimeMicros>(
+                 fault_rng_.Uniform(static_cast<uint64_t>(max_extra)));
 }
 
 sim::Future<CallResult> Network::Call(DcId from, DcId to,
@@ -101,7 +112,8 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
     ++messages_dropped_;
     return promise.GetFuture();
   }
-  const TimeMicros request_delay = SampleDelay(from, to);
+  const TimeMicros request_delay =
+      SampleDelay(from, to) + MaybeReorderExtra(from, to);
   const uint64_t request_epoch = ChannelEpoch(from, to);
   sim_->ScheduleAfter(
       request_delay, [this, from, to, promise, request_epoch,
@@ -128,7 +140,8 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
                        ++messages_dropped_;
                        return;
                      }
-                     const TimeMicros response_delay = SampleDelay(to, from);
+                     const TimeMicros response_delay =
+                         SampleDelay(to, from) + MaybeReorderExtra(to, from);
                      const uint64_t response_epoch = ChannelEpoch(to, from);
                      sim_->ScheduleAfter(
                          response_delay,
@@ -145,7 +158,77 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
         };
         RunHandler(context);
       });
+
+  // Duplicate-delivery fault: with probability duplicate_probability (fault
+  // stream), the request also arrives a second time, a little behind the
+  // original. The destination handler runs twice — exactly the re-delivered
+  // prepare/decide/apply the 2PC records must tolerate.
+  if (options_.duplicate_probability > 0 && from != to &&
+      fault_rng_.Bernoulli(options_.duplicate_probability)) {
+    ScheduleDuplicateRequest(from, to, request_delay, request_epoch, request,
+                             promise);
+  }
   return promise.GetFuture();
+}
+
+void Network::ScheduleDuplicateRequest(DcId from, DcId to,
+                                       TimeMicros original_delay,
+                                       uint64_t request_epoch,
+                                       const std::any& request,
+                                       sim::Promise<CallResult> promise) {
+  // The copy is a message of its own: counted, lossy, and epoch-checked like
+  // any other — it captured the same send-time epoch as the original, so it
+  // still respects outage windows and heal gaps. Every random draw on either
+  // of its legs comes from the fault stream, leaving the schedule of all
+  // non-duplicated traffic untouched.
+  ++messages_sent_;
+  ++messages_duplicated_;
+  if (ShouldDropFrom(&fault_rng_, from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  const TimeMicros max_lag =
+      std::max<TimeMicros>(options_.reorder_extra_max, 1);
+  const TimeMicros delay =
+      original_delay + 1 +
+      static_cast<TimeMicros>(fault_rng_.Uniform(static_cast<uint64_t>(max_lag)));
+  sim_->ScheduleAfter(delay, [this, from, to, promise, request_epoch,
+                              request = request]() mutable {
+    if (dc_down_[to] || ChannelEpoch(from, to) != request_epoch) {
+      ++messages_dropped_;
+      return;
+    }
+    if (!handlers_[to]) {
+      ++messages_dropped_;
+      return;
+    }
+    auto* context = new HandlerContext;
+    context->handler = handlers_[to];
+    context->from = from;
+    context->request = std::move(request);
+    context->done = [this, from, to, promise](std::any response) {
+      // Response leg of the copy. Client-side a second response is invisible
+      // anyway (sim::Promise is first-set-wins), but it still costs a
+      // message and can be lost.
+      ++messages_sent_;
+      if (ShouldDropFrom(&fault_rng_, to, from)) {
+        ++messages_dropped_;
+        return;
+      }
+      const TimeMicros response_delay = SampleDelayFrom(&fault_rng_, to, from);
+      const uint64_t response_epoch = ChannelEpoch(to, from);
+      sim_->ScheduleAfter(
+          response_delay, [this, from, to, promise, response_epoch,
+                           response = std::move(response)]() mutable {
+            if (dc_down_[from] || ChannelEpoch(to, from) != response_epoch) {
+              ++messages_dropped_;
+              return;
+            }
+            promise.Set(CallResult{Status::OK(), std::move(response)});
+          });
+    };
+    RunHandler(context);
+  });
 }
 
 sim::Future<BroadcastResult> Network::Broadcast(
@@ -216,6 +299,8 @@ void Network::ResetStats() {
   messages_sent_ = 0;
   messages_dropped_ = 0;
   calls_started_ = 0;
+  messages_duplicated_ = 0;
+  messages_reordered_ = 0;
 }
 
 }  // namespace paxoscp::net

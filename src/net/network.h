@@ -63,6 +63,25 @@ struct NetworkOptions {
   TimeMicros default_timeout = 2 * kSecond;
   /// RNG seed for delay jitter and loss decisions.
   uint64_t seed = 1;
+
+  // -- Adversarial delivery faults (docs/ARCHITECTURE.md, D10) --------------
+  // All randomness below draws from a dedicated fault stream (never the
+  // jitter/loss stream), so enabling these faults does not perturb the
+  // delivery schedule of the messages they leave alone, and plans without
+  // them replay byte-identically to a network that predates the feature.
+
+  /// Probability that an inter-datacenter request is delivered twice: the
+  /// copy travels independently (same outage-epoch capture, own delivery
+  /// event), so the destination handler runs twice — the service-side
+  /// idempotence this repo's 2PC records must provide.
+  double duplicate_probability = 0.0;
+  /// Probability that a one-way message is held back by an extra delay in
+  /// (0, reorder_extra_max], letting later sends overtake it (delivery is
+  /// already not FIFO under jitter; this widens the window adversarially).
+  double reorder_probability = 0.0;
+  /// Max extra delay of a reordered message, and max lag of a duplicate
+  /// copy behind its original.
+  TimeMicros reorder_extra_max = 200 * kMillisecond;
 };
 
 struct BroadcastOptions {
@@ -125,21 +144,53 @@ class Network {
   void set_loss_probability(double p) { options_.loss_probability = p; }
   double loss_probability() const { return options_.loss_probability; }
 
+  // Adversarial delivery faults (see NetworkOptions). Setters are used by
+  // the fault injector for kDuplicateBurst / kReorderBurst episodes.
+  void set_duplicate_probability(double p) {
+    options_.duplicate_probability = p;
+  }
+  double duplicate_probability() const { return options_.duplicate_probability; }
+  void set_reorder_probability(double p) { options_.reorder_probability = p; }
+  double reorder_probability() const { return options_.reorder_probability; }
+  void set_reorder_extra_max(TimeMicros t) { options_.reorder_extra_max = t; }
+  TimeMicros reorder_extra_max() const { return options_.reorder_extra_max; }
+
   // -- Statistics (used to verify the paper's message-complexity claim) -----
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t calls_started() const { return calls_started_; }
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  uint64_t messages_reordered() const { return messages_reordered_; }
   void ResetStats();
 
   sim::Simulator* simulator() const { return sim_; }
   TimeMicros default_timeout() const { return options_.default_timeout; }
 
  private:
+  /// Samples the one-way delay from `from` to `to` using `rng` (the main
+  /// jitter stream for regular legs, the fault stream for duplicate copies).
+  TimeMicros SampleDelayFrom(Rng* rng, DcId from, DcId to);
   /// Samples the one-way delay from `from` to `to`.
-  TimeMicros SampleDelay(DcId from, DcId to);
+  TimeMicros SampleDelay(DcId from, DcId to) {
+    return SampleDelayFrom(&rng_, from, to);
+  }
+  /// True if the message should be dropped (loss, outage, severed link),
+  /// drawing the loss decision from `rng`.
+  bool ShouldDropFrom(Rng* rng, DcId from, DcId to);
   /// True if the message should be dropped (loss, outage, severed link).
-  bool ShouldDrop(DcId from, DcId to);
+  bool ShouldDrop(DcId from, DcId to) { return ShouldDropFrom(&rng_, from, to); }
+  /// Extra reorder delay for one leg: 0 unless a reorder fault is active, in
+  /// which case a Bernoulli(reorder_probability) draw from the fault stream
+  /// holds the message back by U(1, reorder_extra_max). Never touches rng_.
+  TimeMicros MaybeReorderExtra(DcId from, DcId to);
+  /// Schedules the independent second delivery of a duplicated request. All
+  /// of its randomness (lag behind the original, loss on both legs, response
+  /// delay) comes from the fault stream so the original's schedule — and
+  /// every other message's — is unchanged.
+  void ScheduleDuplicateRequest(DcId from, DcId to, TimeMicros original_delay,
+                                uint64_t request_epoch, const std::any& request,
+                                sim::Promise<CallResult> promise);
   /// Outage epoch of the `from` -> `to` channel. Captured when a message is
   /// sent; if it changed by delivery time the message crossed a fault window
   /// and is lost (see the in-flight semantics note above).
@@ -151,6 +202,10 @@ class Network {
   std::vector<std::vector<TimeMicros>> rtt_;
   NetworkOptions options_;
   Rng rng_;
+  /// Dedicated stream for duplication/reorder faults; only advanced while
+  /// the corresponding probability is non-zero, so fault-free runs are
+  /// bit-identical with the feature compiled in.
+  Rng fault_rng_;
   std::vector<ServiceHandler> handlers_;
   std::vector<bool> dc_down_;
   std::vector<std::vector<bool>> link_down_;
@@ -161,6 +216,8 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t calls_started_ = 0;
+  uint64_t messages_duplicated_ = 0;
+  uint64_t messages_reordered_ = 0;
 };
 
 }  // namespace paxoscp::net

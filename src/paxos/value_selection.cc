@@ -126,7 +126,9 @@ SelectionDecision EnhancedFindWinningValue(const std::vector<LastVote>& votes,
       same_ballot_value != nullptr && !own.txns.empty() &&
       std::all_of(own.txns.begin(), own.txns.end(),
                   [&](const wal::TxnRecord& t) {
-                    return same_ballot_value->ContainsTxn(t.id);
+                    // Id AND kind: a recovery decide reuses the id of the
+                    // prepare it resolves, and must read as a loss here.
+                    return same_ballot_value->ContainsRecord(t.id, t.kind);
                   });
   if (max_same_ballot > d / 2 && !own_in_same_ballot_value) {
     // A majority voted for this value at one ballot: it is decided.

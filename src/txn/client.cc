@@ -194,7 +194,7 @@ sim::Coro<CommitResult> TransactionClient::CommitTxn(TxnState* state) {
       co_return result;
     }
     if (outcome.kind == InstanceOutcome::Kind::kWon ||
-        outcome.decided.ContainsTxn(record.id)) {
+        outcome.decided.ContainsRecord(record.id, record.kind)) {
       result.status = Status::OK();
       result.committed = true;
       result.position = pos;
@@ -239,6 +239,7 @@ sim::Coro<std::optional<TransactionClient::InstanceOutcome>>
 TransactionClient::AcceptAndApply(std::string group, LogPos pos,
                                   paxos::Ballot ballot,
                                   const wal::LogEntry* proposal, TxnId own_id,
+                                  wal::RecordKind own_kind,
                                   paxos::Ballot* max_seen) {
   ServiceRequest accept_request = AcceptRequest{group, pos, ballot, *proposal};
   net::BroadcastResult aresults = co_await BroadcastToAll(&accept_request);
@@ -264,8 +265,9 @@ TransactionClient::AcceptAndApply(std::string group, LogPos pos,
                           ApplyRequest{group, pos, ballot, *proposal})),
                       bopts);
   InstanceOutcome outcome;
-  outcome.kind = proposal->ContainsTxn(own_id) ? InstanceOutcome::Kind::kWon
-                                               : InstanceOutcome::Kind::kLost;
+  outcome.kind = proposal->ContainsRecord(own_id, own_kind)
+                     ? InstanceOutcome::Kind::kWon
+                     : InstanceOutcome::Kind::kLost;
   outcome.decided = *proposal;
   co_return outcome;
 }
@@ -274,6 +276,11 @@ sim::Coro<TransactionClient::InstanceOutcome> TransactionClient::RunInstance(
     std::string group, LogPos pos, const wal::LogEntry* own, DcId leader_dc,
     CommitResult* stats) {
   const TxnId own_id = own->txns.front().id;
+  // Won/lost is judged on (id, kind), not id alone: a recovery daemon's
+  // forced-abort decide carries the txn id of the prepare it resolves, and
+  // a prepare walk that took such a decide entry for its own landed
+  // prepare would commit above a canonical abort (split-brain).
+  const wal::RecordKind own_kind = own->txns.front().kind;
   paxos::Ballot max_seen;  // null
 
   // Leader fast path (§4.1): ask the leader of this position whether we are
@@ -293,7 +300,8 @@ sim::Coro<TransactionClient::InstanceOutcome> TransactionClient::RunInstance(
           std::any_cast<const ServiceResponse&>(claim.response);
       if (std::get<ClaimLeaderResponse>(response).granted) {
         std::optional<InstanceOutcome> outcome = co_await AcceptAndApply(
-            group, pos, paxos::Ballot{0, home_}, own, own_id, &max_seen);
+            group, pos, paxos::Ballot{0, home_}, own, own_id, own_kind,
+            &max_seen);
         if (outcome.has_value()) {
           stats->fast_path = true;
           co_return *outcome;
@@ -331,7 +339,7 @@ sim::Coro<TransactionClient::InstanceOutcome> TransactionClient::RunInstance(
     // Catch-up short circuit: a replica already knows the decided value.
     if (decided.has_value()) {
       InstanceOutcome outcome;
-      outcome.kind = decided->ContainsTxn(own_id)
+      outcome.kind = decided->ContainsRecord(own_id, own_kind)
                          ? InstanceOutcome::Kind::kWon
                          : InstanceOutcome::Kind::kLost;
       outcome.decided = *std::move(decided);
@@ -366,7 +374,7 @@ sim::Coro<TransactionClient::InstanceOutcome> TransactionClient::RunInstance(
 
     // Accept + apply (Steps 3-5).
     std::optional<InstanceOutcome> outcome = co_await AcceptAndApply(
-        group, pos, ballot, &proposal, own_id, &max_seen);
+        group, pos, ballot, &proposal, own_id, own_kind, &max_seen);
     if (outcome.has_value()) co_return *outcome;
 
     co_await sim::SleepFor(sim_, RandomBackoff());

@@ -31,6 +31,10 @@ struct CrossTxnState;
 struct CrossCommitResult;
 struct CrossRead;
 
+namespace recovery {
+class CrossRecovery;
+}  // namespace recovery
+
 class TransactionClient {
  public:
   /// `client_uid` must be unique among all clients of this datacenter; it
@@ -56,6 +60,8 @@ class TransactionClient {
   /// decide to every participant. Safe to run concurrently with a live
   /// coordinator: the lowest-position decide in the commit group always
   /// wins, and every proposer adopts whatever decide it finds first.
+  /// Thin wrapper over recovery::CrossRecovery::Run (txn/recovery.h), the
+  /// shared core the service-side recovery daemon (D10) also drives.
   sim::Coro<Status> RecoverCrossTxn(std::string group, TxnId id);
 
  private:
@@ -63,6 +69,9 @@ class TransactionClient {
   friend class Txn;
   friend class CrossTxn;
   friend class Session;
+  // The shared recovery core borrows this client as its protocol engine
+  // (QueryCrossAll + the ProposeDecide walk).
+  friend class recovery::CrossRecovery;
 
   /// Outcome of running the commit protocol for one log position.
   struct InstanceOutcome {
@@ -224,11 +233,14 @@ class TransactionClient {
                                          DcId leader_dc, CommitResult* stats);
 
   /// Accept + apply with a given ballot and value. Returns kWon/kLost when
-  /// the value is decided (checking own-membership), nullopt when the
-  /// accept round failed to reach a majority (caller re-prepares).
+  /// the value is decided (checking that a record with own id AND own kind
+  /// landed — id alone would mistake a recovery decide for a landed
+  /// prepare), nullopt when the accept round failed to reach a majority
+  /// (caller re-prepares).
   sim::Coro<std::optional<InstanceOutcome>> AcceptAndApply(
       std::string group, LogPos pos, paxos::Ballot ballot,
-      const wal::LogEntry* proposal, TxnId own_id, paxos::Ballot* max_seen);
+      const wal::LogEntry* proposal, TxnId own_id, wal::RecordKind own_kind,
+      paxos::Ballot* max_seen);
 
   /// Calls the home service first, then fails over to the others.
   sim::Coro<net::CallResult> CallWithFailover(const ServiceRequest* request);

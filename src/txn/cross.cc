@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "txn/client.h"
+#include "txn/recovery.h"
 
 namespace paxoscp::txn {
 
@@ -509,8 +510,23 @@ TransactionClient::PrepareCrossLeg(CrossTxnState* state, std::string group,
       out.detail = "prepare on '" + group + "' reached no quorum";
       co_return out;
     }
+    // A decide for OUR OWN transaction in the walked entries means the
+    // recovery daemon already resolved us (it concluded the coordinator
+    // crashed while we were merely slow). That decide is canonical — this
+    // leg's prepare did NOT land (a decide and a prepare share the txn id,
+    // which is exactly why the landed check below matches on kind too).
+    // Report a conflict: the coordinator then proposes abort, and its
+    // decide walk floors at or below this position, finds the recovery's
+    // decide first, and adopts the canonical fate — never committing
+    // above it.
+    if (outcome.decided.FindDecide(id) != nullptr) {
+      out.kind = CrossPrepareOutcome::Kind::kConflict;
+      out.detail = "recovery already decided txn at position " +
+                   std::to_string(pos) + " of '" + group + "'";
+      co_return out;
+    }
     if (outcome.kind == InstanceOutcome::Kind::kWon ||
-        outcome.decided.ContainsTxn(id)) {
+        outcome.decided.FindPrepare(id) != nullptr) {
       // Landed (possibly combined into another proposer's entry). A
       // younger prepare ahead of ours *within* the entry still violates
       // the shared commit order — the prepare stays in the log but the
@@ -658,77 +674,13 @@ TransactionClient::QueryCrossAll(std::string group, TxnId id) {
 
 sim::Coro<Status> TransactionClient::RecoverCrossTxn(std::string group,
                                                      TxnId id) {
-  CommitResult scratch;
-  // 1. Locate the prepare (participant list + commit group). The caller
-  // observed it pending in `group`, so some replica there knows it.
-  CrossQueryResult at_group = co_await QueryCrossAll(group, id);
-  if (!at_group.has_prepare || at_group.participants.empty()) {
-    co_return Status::NotFound("no replica knows the prepare of txn " +
-                               TxnIdToString(id) + " in group '" + group +
-                               "'");
-  }
-  const std::string commit_group = at_group.participants.front();
-
-  // 2. Learn the canonical decision from the commit group — a replica
-  // whose log is contiguous through its decision marker answers
-  // authoritatively. (Plain if/else, not a conditional expression: a
-  // co_await inside a ternary arm is a temporary-across-suspension
-  // hazard under GCC 12 — see the parameter rules in client.h.)
-  CrossQueryResult at_cg;
-  if (commit_group == group) {
-    at_cg = at_group;
-  } else {
-    at_cg = co_await QueryCrossAll(commit_group, id);
-  }
-  bool decision_commit = at_cg.decision_commit;
-
-  // 3. No canonical decision anywhere: force abort by proposing an abort
-  // decide in the commit group. Whatever decide lands lowest wins — if a
-  // slow coordinator's commit decide got there first, the walk adopts it.
-  // The floor must be at or below every possible decide position: after
-  // the commit-group prepare if it landed, else the log's start (the
-  // rare crashed-before-its-first-prepare case).
-  if (!at_cg.has_canonical_decision) {
-    const LogPos cg_floor = at_cg.has_prepare ? at_cg.prepare_pos + 1 : 1;
-    DecideOutcome forced = co_await ProposeDecide(
-        commit_group, cg_floor, id, /*commit=*/false, &scratch);
-    if (!forced.known) {
-      co_return Status::Unavailable(
-          "recovery could not decide txn " + TxnIdToString(id) +
-          " in commit group '" + commit_group + "'");
-    }
-    decision_commit = forced.commit;
-  }
-
-  // 4. Propagate the canonical decision to every other participant —
-  // their own pending prepares unblock on the same decide. Decides in
-  // participant groups are idempotent canonical copies, so the walk may
-  // start from the participant's frontier (its prepare position, else
-  // the safe read position a replica reports) instead of position 1 —
-  // no need to find an existing lower decide, only to land one.
-  for (const std::string& participant : at_group.participants) {
-    if (participant == commit_group) continue;
-    CrossQueryResult at_part;
-    if (participant == group) {
-      at_part = at_group;
-    } else {
-      at_part = co_await QueryCrossAll(participant, id);
-    }
-    LogPos floor = 1;
-    if (at_part.has_prepare) {
-      floor = at_part.prepare_pos + 1;
-    } else if (at_part.safe_pos > 0) {
-      floor = at_part.safe_pos + 1;
-    }
-    DecideOutcome propagated = co_await ProposeDecide(
-        participant, floor, id, decision_commit, &scratch);
-    if (!propagated.known) {
-      co_return Status::Unavailable("recovery could not propagate decide of " +
-                                    TxnIdToString(id) + " to '" +
-                                    participant + "'");
-    }
-  }
-  co_return Status::OK();
+  // The learn-or-force decide walk lives in the shared recovery core
+  // (txn/recovery.cc) so the service-side recovery daemon (D10) runs the
+  // exact same protocol; this client entry point only keeps its Status
+  // signature for existing callers.
+  recovery::RecoveryResult result =
+      co_await recovery::CrossRecovery::Run(this, std::move(group), id);
+  co_return result.status;
 }
 
 // -------------------------------------------------------------- Session

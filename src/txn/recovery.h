@@ -1,0 +1,57 @@
+// Shared cross-group 2PC recovery core (docs/ARCHITECTURE.md, design notes
+// D8 + D10). The learn-or-force decide walk that resolves a prepared-but-
+// undecided cross-group transaction lives here so that both entry points —
+// the client-driven `TransactionClient::RecoverCrossTxn` and the
+// service-side recovery daemon (`TransactionService::StartRecoveryDaemon`)
+// — run the exact same protocol.
+//
+// The walk is stateless and idempotent: every invocation re-derives the
+// commit group from the prepare's participant list, adopts whatever decide
+// already sits lowest in the commit group's log (first decide wins), and
+// only forces an abort decide when no canonical decision exists anywhere.
+// Concurrent invocations — a live coordinator racing the daemon, two
+// replicas' daemons escalating at once, or a duplicated recovery RPC —
+// all converge on the same canonical decision.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/coro.h"
+
+namespace paxoscp::txn {
+
+class TransactionClient;
+
+namespace recovery {
+
+/// Outcome of one recovery drive.
+struct RecoveryResult {
+  /// OK once the canonical decision is landed in every participant group.
+  Status status;
+  /// status.ok(): the transaction is decided everywhere.
+  bool decided = false;
+  /// The decision was reached through the force path (no canonical decision
+  /// existed when this drive looked) and resolved to abort. False when the
+  /// drive merely learned or propagated an existing decision.
+  bool forced_abort = false;
+  /// The canonical decision (valid iff decided).
+  bool commit = false;
+};
+
+/// The recovery engine. Borrow any TransactionClient as the protocol engine
+/// (it supplies QueryCrossAll and the ProposeDecide walk); `Run` never
+/// touches the client's active-transaction state.
+class CrossRecovery {
+ public:
+  /// Resolves cross-group transaction `id`, observed as prepared in
+  /// `group`, to its canonical decision and propagates it to every
+  /// participant. See TransactionClient::RecoverCrossTxn for the caller
+  /// contract; this is its moved body.
+  static sim::Coro<RecoveryResult> Run(TransactionClient* engine,
+                                       std::string group, TxnId id);
+};
+
+}  // namespace recovery
+}  // namespace paxoscp::txn

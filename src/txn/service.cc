@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "paxos/value_selection.h"
+#include "txn/client.h"
+#include "txn/recovery.h"
 
 namespace paxoscp::txn {
 
@@ -20,6 +22,17 @@ std::vector<DcId> AllDatacenters(int d) {
   return all;
 }
 
+/// SplitMix64 finalizer: the recovery daemon's timer jitter is a pure hash
+/// of (service seed, datacenter, txn id) — deterministic and stream-free.
+uint64_t HashMix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 TransactionService::TransactionService(DcId dc, net::Network* network,
@@ -30,7 +43,12 @@ TransactionService::TransactionService(DcId dc, net::Network* network,
       network_(network),
       store_(store),
       model_(model),
-      rng_(seed) {}
+      rng_(seed),
+      seed_(seed) {}
+
+// Out of line: recovery_client_ is a unique_ptr to the forward-declared
+// TransactionClient.
+TransactionService::~TransactionService() = default;
 
 TransactionService::GroupState* TransactionService::Group(
     const std::string& group) {
@@ -161,7 +179,9 @@ sim::Coro<ServiceResponse> TransactionService::HandleApply(
   co_await sim::SleepFor(network_->simulator(), model_.apply);
   GroupState* gs = Group(request->group);
   Status s = gs->acceptor.OnApply(request->pos, request->ballot, request->value);
-  if (!s.ok()) {
+  if (s.ok()) {
+    NoteEntryLanded(request->group);
+  } else {
     PAXOSCP_LOG(kError) << "dc " << dc_ << " apply failed at "
                         << request->group << "[" << request->pos
                         << "]: " << s.ToString();
@@ -242,6 +262,205 @@ void TransactionService::BackgroundApplyTick(uint64_t generation) {
   network_->simulator()->ScheduleAfter(
       applier_interval_,
       [this, generation] { BackgroundApplyTick(generation); });
+}
+
+// ------------------------------------------- recovery daemon (D10)
+
+void TransactionService::NoteEntryLanded(const std::string& group) {
+  GroupState* gs = Group(group);
+  const TimeMicros now = network_->simulator()->Now();
+  // Sync the pin table with the WAL side table. Pure bookkeeping — no
+  // events scheduled, no RNG consumed — so this hook leaves daemon-off runs
+  // bit-identical. Pending prepares are rare and short-lived; the scan is
+  // cheap.
+  std::set<TxnId> live;
+  for (const wal::PendingPrepare& p : gs->log.PendingPrepares()) {
+    live.insert(p.txn);
+    const PendingKey key{group, p.txn};
+    if (pin_open_.emplace(key, now).second && recovery_running_ &&
+        recovery_timed_.insert(key).second) {
+      ArmRecoveryTimer(group, p.txn, 0,
+                       recovery_options_.base_delay + RecoveryJitter(p.txn));
+    }
+  }
+  for (auto it = pin_open_.begin(); it != pin_open_.end();) {
+    if (it->first.first == group && live.count(it->first.second) == 0) {
+      max_closed_pin_ = std::max(max_closed_pin_, now - it->second);
+      recovery_timed_.erase(it->first);
+      it = pin_open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TimeMicros TransactionService::RecoveryJitter(TxnId id) const {
+  if (recovery_options_.max_jitter <= 0) return 0;
+  const uint64_t h = HashMix(seed_ ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                             (static_cast<uint64_t>(dc_) << 32));
+  return static_cast<TimeMicros>(
+      h % static_cast<uint64_t>(recovery_options_.max_jitter));
+}
+
+TimeMicros TransactionService::RecoveryBackoff(int attempt) const {
+  TimeMicros backoff = recovery_options_.retry_backoff;
+  for (int i = 0; i < attempt; ++i) {
+    backoff *= 2;
+    if (backoff >= recovery_options_.max_backoff) {
+      return recovery_options_.max_backoff;
+    }
+  }
+  return std::min(backoff, recovery_options_.max_backoff);
+}
+
+void TransactionService::ArmRecoveryTimer(const std::string& group, TxnId id,
+                                          int attempt, TimeMicros delay) {
+  const uint64_t generation = recovery_generation_;
+  network_->simulator()->ScheduleAfter(
+      std::max<TimeMicros>(delay, 1), [this, group, id, attempt, generation] {
+        RecoveryTimerFired(group, id, attempt, generation);
+      });
+}
+
+void TransactionService::RecoveryTimerFired(const std::string& group,
+                                            TxnId id, int attempt,
+                                            uint64_t generation) {
+  if (!recovery_running_ || generation != recovery_generation_) return;
+  const PendingKey key{group, id};
+  if (pin_open_.count(key) == 0) {
+    // Resolved while the timer was queued (coordinator finished, another
+    // replica's recovery landed the decide here, client quiesce ran).
+    recovery_timed_.erase(key);
+    return;
+  }
+  if (attempt >= recovery_options_.max_attempts) {
+    // Give up: bounds the timer chain under a permanent partition. The
+    // post-run quiesce (when enabled) can still resolve the transaction.
+    recovery_timed_.erase(key);
+    return;
+  }
+  // Arbitration: the lowest *live* datacenter drives; everyone else backs
+  // off and re-checks — when the arbiter goes down, the next timer firing
+  // re-arbitrates and a new replica takes over. After `escalate_after`
+  // deferrals a watcher drives regardless: the arbiter may not know this
+  // prepare at all (it can be missing the entry), and duplicate drives are
+  // harmless — the recovery core is idempotent.
+  bool arbiter = true;
+  for (DcId dc = 0; dc < dc_; ++dc) {
+    if (!network_->IsDatacenterDown(dc)) {
+      arbiter = false;
+      break;
+    }
+  }
+  if ((arbiter || attempt >= recovery_options_.escalate_after) &&
+      recovery_inflight_.count(key) == 0) {
+    DriveRecovery(group, id, attempt, generation);
+    return;  // DriveRecovery re-arms the chain if the pin survives
+  }
+  ArmRecoveryTimer(group, id, attempt + 1, RecoveryBackoff(attempt));
+}
+
+sim::Task TransactionService::DriveRecovery(std::string group, TxnId id,
+                                            int attempt, uint64_t generation) {
+  const PendingKey key{group, id};
+  recovery_inflight_.insert(key);
+  ++recoveries_started_;
+  recovery::RecoveryResult result =
+      co_await recovery::CrossRecovery::Run(RecoveryClient(), group, id);
+  recovery_inflight_.erase(key);
+  if (generation != recovery_generation_) co_return;  // daemon stopped
+  if (result.status.ok()) {
+    ++recoveries_decided_;
+    if (result.forced_abort) ++recoveries_forced_abort_;
+    // The canonical decide now exists in every participant group, but this
+    // replica's own log may still miss the decide *entry* (the instance
+    // apply broadcast is fire-and-forget): learn forward until the local
+    // pending entry clears, bounded by the decided frontier.
+    GroupState* gs = Group(group);
+    for (int step = 0; step < kMaxCatchUpSteps; ++step) {
+      if (pin_open_.count(key) == 0) break;
+      LogPos to_learn = 0;
+      const LogPos limit = gs->log.MaxDecided() + 1;
+      for (LogPos q = 1; q <= limit; ++q) {
+        if (!gs->log.HasEntry(q)) {
+          to_learn = q;
+          break;
+        }
+      }
+      if (to_learn == 0) break;
+      Status learned = co_await LearnEntry(group, to_learn);
+      if (!learned.ok()) break;
+    }
+  }
+  if (pin_open_.count(key) != 0) {
+    // Still pending: recovery failed, or the decide entry has not reached
+    // this replica yet. Retry with backoff (the attempt cap ends the chain).
+    if (recovery_running_ && generation == recovery_generation_) {
+      ArmRecoveryTimer(group, id, attempt + 1, RecoveryBackoff(attempt));
+    }
+  } else {
+    recovery_timed_.erase(key);
+  }
+}
+
+TransactionClient* TransactionService::RecoveryClient() {
+  if (!recovery_client_) {
+    ClientOptions copts = recovery_options_.client;
+    copts.protocol = Protocol::kPaxosCP;   // decide walks need CP promotion
+    copts.crash_after_prepares = -1;       // the daemon never self-crashes
+    recovery_client_ = std::make_unique<TransactionClient>(
+        network_, dc_, copts,
+        /*client_uid=*/0xFF0000u | static_cast<uint32_t>(dc_),
+        /*seed=*/HashMix(seed_ ^ 0x5851f42d4c957f2dULL));
+  }
+  return recovery_client_.get();
+}
+
+void TransactionService::StartRecoveryDaemon(
+    const RecoveryDaemonOptions& options) {
+  recovery_options_ = options;
+  recovery_running_ = true;
+  ++recovery_generation_;
+  recovery_timed_.clear();
+  // Adopt pending prepares that predate the daemon (start-of-run, or a
+  // daemon transferred across a service restart re-reading the durable WAL
+  // side tables): open their pins and arm fresh timers.
+  const TimeMicros now = network_->simulator()->Now();
+  for (auto& [group, gs] : groups_) {
+    for (const wal::PendingPrepare& p : gs->log.PendingPrepares()) {
+      const PendingKey key{group, p.txn};
+      pin_open_.emplace(key, now);  // keeps an earlier open time if present
+      if (recovery_timed_.insert(key).second) {
+        ArmRecoveryTimer(group, p.txn, 0,
+                         options.base_delay + RecoveryJitter(p.txn));
+      }
+    }
+  }
+}
+
+void TransactionService::StopRecoveryDaemon() {
+  recovery_running_ = false;
+  ++recovery_generation_;
+  recovery_timed_.clear();
+}
+
+std::vector<std::string> TransactionService::KnownGroups() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, gs] : groups_) {
+    (void)gs;
+    names.push_back(name);
+  }
+  return names;
+}
+
+TimeMicros TransactionService::MaxSafeReadPosPin(TimeMicros now) const {
+  TimeMicros max_pin = max_closed_pin_;
+  for (const auto& [key, opened] : pin_open_) {
+    (void)key;
+    max_pin = std::max(max_pin, now - opened);
+  }
+  return max_pin;
 }
 
 sim::Coro<Status> TransactionService::CatchUp(GroupState* gs, LogPos target) {
@@ -325,7 +544,9 @@ sim::Coro<Status> TransactionService::LearnEntry(std::string group,
       }
     }
     if (decided.has_value()) {
-      co_return gs->acceptor.OnApply(pos, ballot, *decided);
+      Status applied = gs->acceptor.OnApply(pos, ballot, *decided);
+      if (applied.ok()) NoteEntryLanded(group);
+      co_return applied;
     }
     if (promised >= majority) {
       std::optional<wal::LogEntry> winning = paxos::FindWinningValue(votes);
@@ -355,7 +576,9 @@ sim::Coro<Status> TransactionService::LearnEntry(std::string group,
         // Decided: propagate the outcome (fire-and-forget) and record it.
         ServiceRequest apply = ApplyRequest{group, pos, ballot, *winning};
         network_->Broadcast(dc_, all, std::any(apply), bopts);
-        co_return gs->acceptor.OnApply(pos, ballot, *winning);
+        Status applied = gs->acceptor.OnApply(pos, ballot, *winning);
+        if (applied.ok()) NoteEntryLanded(group);
+        co_return applied;
       }
     }
     co_await sim::SleepFor(

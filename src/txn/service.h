@@ -13,7 +13,10 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -23,9 +26,43 @@
 #include "paxos/acceptor.h"
 #include "sim/coro.h"
 #include "txn/messages.h"
+#include "txn/transaction.h"
 #include "wal/log.h"
 
 namespace paxoscp::txn {
+
+class TransactionClient;
+
+/// Options of the service-side 2PC recovery daemon (docs/ARCHITECTURE.md,
+/// design note D10). All timers are deterministic: the per-transaction
+/// jitter is hash-derived from (service seed, txn id), never drawn from an
+/// RNG stream, so a seeded run with the daemon on replays bit-identically.
+struct RecoveryDaemonOptions {
+  /// Delay between a pending prepare appearing in the WAL side table and
+  /// the first recovery consideration — a live coordinator gets this long
+  /// to decide on its own before any replica interferes.
+  TimeMicros base_delay = 1 * kSecond;
+  /// Upper bound on the deterministic per-(replica, txn) jitter added to
+  /// base_delay, desynchronizing the replicas' timers.
+  TimeMicros max_jitter = 500 * kMillisecond;
+  /// Backoff before re-considering a transaction whose recovery attempt
+  /// failed or was deferred to the arbiter; doubles per attempt, capped.
+  TimeMicros retry_backoff = 1 * kSecond;
+  TimeMicros max_backoff = 8 * kSecond;
+  /// Attempt cap per pending transaction: bounds the timer chain so an
+  /// unresolvable transaction (e.g. under a permanent partition) cannot
+  /// keep the simulator's event queue alive forever.
+  int max_attempts = 16;
+  /// Attempt index from which a non-arbiter replica drives recovery itself
+  /// instead of deferring: the arbiter may never have seen this prepare
+  /// (its replica can be missing the entry), so pure deference could stall
+  /// forever. Escalated duplicate drives are safe — recovery is idempotent;
+  /// arbitration only avoids the common-case recovery storm.
+  int escalate_after = 4;
+  /// Options of the daemon's internal recovery client (protocol is forced
+  /// to Paxos-CP, crash faults are stripped).
+  ClientOptions client;
+};
 
 /// Simulated processing cost of each request type, calibrated in
 /// EXPERIMENTS.md against the paper's testbed (HBase on EBS-backed EC2
@@ -48,6 +85,7 @@ class TransactionService {
   TransactionService(DcId dc, net::Network* network,
                      kvstore::MultiVersionStore* store,
                      const ServiceTimeModel& model, uint64_t seed);
+  ~TransactionService();
 
   DcId dc() const { return dc_; }
   kvstore::MultiVersionStore* store() const { return store_; }
@@ -89,6 +127,40 @@ class TransactionService {
     ++applier_generation_;
   }
 
+  // -- Service-side 2PC recovery daemon (D10) -------------------------------
+
+  /// Arms a seed-derived deterministic timer whenever a pending prepare
+  /// appears in a group's WAL side table; on expiry, a single deterministic
+  /// arbiter per group (the lowest live datacenter) drives the shared
+  /// recovery core (txn/recovery.h) while the other replicas watch with
+  /// backoff — re-arbitrating when the arbiter goes down, and escalating to
+  /// drive themselves after `escalate_after` deferrals. Also adopts pending
+  /// prepares already in the side tables (daemon transfer across a service
+  /// restart).
+  void StartRecoveryDaemon(const RecoveryDaemonOptions& options);
+  /// Stops the daemon: the generation bump turns every queued timer and the
+  /// completion of any in-flight drive into a no-op.
+  void StopRecoveryDaemon();
+  bool recovery_daemon_running() const { return recovery_running_; }
+  const RecoveryDaemonOptions& recovery_daemon_options() const {
+    return recovery_options_;
+  }
+
+  /// Names of the groups this replica has state for (used by the cluster to
+  /// rebuild a restarted service's group map before re-starting its daemon).
+  std::vector<std::string> KnownGroups() const;
+
+  /// Recovery accounting.
+  uint64_t recoveries_started() const { return recoveries_started_; }
+  uint64_t recoveries_decided() const { return recoveries_decided_; }
+  uint64_t recoveries_forced_abort() const { return recoveries_forced_abort_; }
+
+  /// Longest time a pending prepare has pinned this replica's SafeReadPos:
+  /// the max over closed pins and pins still open at `now`. Tracked whether
+  /// or not the daemon runs (pure map bookkeeping on the apply path — no
+  /// events, no RNG — so daemon-off runs stay bit-identical).
+  TimeMicros MaxSafeReadPosPin(TimeMicros now) const;
+
  private:
   struct GroupState {
     explicit GroupState(kvstore::MultiVersionStore* store,
@@ -120,11 +192,41 @@ class TransactionService {
   /// target instead of re-learning the (present) stalled position.
   sim::Coro<Status> CatchUp(GroupState* group_state, LogPos target);
 
+  // -- Recovery daemon internals (D10) --------------------------------------
+
+  /// A pending prepare is identified by (group, txn id).
+  using PendingKey = std::pair<std::string, TxnId>;
+
+  /// Called after every successful acceptor OnApply: syncs the SafeReadPos
+  /// pin table with the group's WAL side table (opening pins for newly
+  /// pending prepares, closing pins whose decide entry just landed) and,
+  /// when the daemon runs, arms the recovery timer of each new pending.
+  void NoteEntryLanded(const std::string& group);
+  /// Deterministic per-(replica, txn) jitter in [0, max_jitter).
+  TimeMicros RecoveryJitter(TxnId id) const;
+  /// Doubling backoff for attempt index `attempt`, capped at max_backoff.
+  TimeMicros RecoveryBackoff(int attempt) const;
+  void ArmRecoveryTimer(const std::string& group, TxnId id, int attempt,
+                        TimeMicros delay);
+  void RecoveryTimerFired(const std::string& group, TxnId id, int attempt,
+                          uint64_t generation);
+  /// Detached drive of the shared recovery core for one pending prepare;
+  /// re-arms its timer chain on failure.
+  sim::Task DriveRecovery(std::string group, TxnId id, int attempt,
+                          uint64_t generation);
+  /// The daemon's lazily-built protocol engine: a TransactionClient homed at
+  /// this datacenter that only ever runs query/decide walks (it never mints
+  /// transaction ids or touches active-transaction state).
+  TransactionClient* RecoveryClient();
+
   DcId dc_;
   net::Network* network_;
   kvstore::MultiVersionStore* store_;
   ServiceTimeModel model_;
   Rng rng_;
+  /// Construction seed, kept for hash-derived recovery jitter (which must
+  /// not consume the rng_ stream: arming a timer may not perturb replay).
+  uint64_t seed_;
   std::map<std::string, std::unique_ptr<GroupState>> groups_;
 
   void BackgroundApplyTick(uint64_t generation);
@@ -137,6 +239,25 @@ class TransactionService {
   /// stale (scheduled before a Stop) and must do nothing.
   uint64_t applier_generation_ = 0;
   int64_t gc_keep_versions_ = -1;
+
+  bool recovery_running_ = false;
+  RecoveryDaemonOptions recovery_options_;
+  /// Bumped by Start/StopRecoveryDaemon; queued timers and in-flight drives
+  /// carrying a stale generation do nothing.
+  uint64_t recovery_generation_ = 0;
+  std::unique_ptr<TransactionClient> recovery_client_;
+  /// Pending prepares currently pinning SafeReadPos, with the virtual time
+  /// each pin opened. Maintained daemon-on and -off.
+  std::map<PendingKey, TimeMicros> pin_open_;
+  TimeMicros max_closed_pin_ = 0;
+  /// Keys with a live timer chain (guards double-arming) and keys with an
+  /// in-flight recovery drive (guards concurrent duplicate drives from the
+  /// same replica; cross-replica duplicates are handled by idempotence).
+  std::set<PendingKey> recovery_timed_;
+  std::set<PendingKey> recovery_inflight_;
+  uint64_t recoveries_started_ = 0;
+  uint64_t recoveries_decided_ = 0;
+  uint64_t recoveries_forced_abort_ = 0;
 };
 
 }  // namespace paxoscp::txn

@@ -258,6 +258,13 @@ bool LogEntry::ContainsTxn(TxnId id) const {
   return false;
 }
 
+bool LogEntry::ContainsRecord(TxnId id, RecordKind kind) const {
+  for (const TxnRecord& t : txns) {
+    if (t.id == id && t.kind == kind) return true;
+  }
+  return false;
+}
+
 bool LogEntry::WritesItemReadBy(const TxnRecord& t) const {
   for (const ReadRecord& r : t.reads) {
     for (const TxnRecord& winner : txns) {

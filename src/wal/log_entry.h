@@ -142,6 +142,11 @@ struct LogEntry {
   uint64_t Fingerprint() const;
 
   bool ContainsTxn(TxnId id) const;
+  /// True if a record with this id AND kind is present. Proposers must use
+  /// this (not ContainsTxn) to decide whether *their* record landed: a
+  /// recovery decide carries the same txn id as the prepare it resolves,
+  /// so an id-only match would mistake a forced abort for a landed prepare.
+  bool ContainsRecord(TxnId id, RecordKind kind) const;
   /// True if transaction `t` reads any item written by any transaction in
   /// this entry (the paper's promotion conflict test).
   bool WritesItemReadBy(const TxnRecord& t) const;

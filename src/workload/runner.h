@@ -43,6 +43,15 @@ struct RunnerConfig {
   /// start time) so availability-over-time is observable — the accounting
   /// behind bench/fig_availability and the chaos harness.
   TimeMicros availability_window = 0;
+  /// Run the client-driven post-run 2PC recovery quiesce (on by default;
+  /// requires check_invariants and a multi-group workload). Turn OFF to
+  /// prove the service-side recovery daemon heals pending prepares without
+  /// client help — the chaos harness's daemon slice does exactly that.
+  bool quiesce_recovery = true;
+  /// When > 0, every replica runs the service-side recovery daemon (D10)
+  /// during the workload with this base timer (jitter/backoff at their
+  /// RecoveryDaemonOptions defaults). 0 leaves the daemon off.
+  TimeMicros recovery_timer = 0;
 };
 
 /// Outcome counts for one availability window ([i*w, (i+1)*w) since run
@@ -107,6 +116,16 @@ struct RunStats {
                ? 0
                : static_cast<double>(cross_committed) / cross_attempted;
   }
+
+  /// Service-side recovery daemon accounting (D10), summed over the
+  /// replicas live at the end of the main run. `max_safe_read_pin` — the
+  /// longest any pending prepare pinned a replica's SafeReadPos, open pins
+  /// measured at end-of-run — is tracked whether or not the daemon runs:
+  /// it is the headline number of bench/fig_recovery.
+  uint64_t recoveries_started = 0;
+  uint64_t recoveries_decided = 0;
+  uint64_t recoveries_forced_abort = 0;
+  TimeMicros max_safe_read_pin = 0;
 
   uint64_t messages_sent = 0;
   double messages_per_attempt = 0;

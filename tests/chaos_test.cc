@@ -52,6 +52,10 @@ struct ChaosResult {
   workload::RunStats stats;
   int unknown_in_log = 0;   // client never learned; txn decided anyway
   int unknown_absent = 0;   // client never learned; txn never decided
+  /// Pending prepares left on ANY replica of ANY group after the run (and
+  /// its invariant quiesce) finished — the daemon slice requires zero with
+  /// the client-side quiesce disabled.
+  int pending_after = 0;
 
   bool ok() const { return stats.check.ok && stats.all_threads_finished; }
 
@@ -77,8 +81,17 @@ struct ChaosResult {
 /// the post-run recovery quiesce must resolve every prepared-but-
 /// undecided transaction and the extended checker must prove atomicity +
 /// one-copy serializability across the union of the groups.
+///
+/// `daemon` (implies cross-style workloads) hands healing to the
+/// service-side recovery daemon alone (D10): the client-side quiesce is
+/// disabled, every replica runs the daemon, the fault envelope adds
+/// duplicate-delivery and reorder bursts, and coordinator crashes are
+/// drawn more aggressively. All daemon-mode draws happen AFTER the
+/// original draw sequence, so historical (seed, mode) runs still replay
+/// bit-identically.
 ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
-                     int max_rounds_per_position = 32, bool cross = false) {
+                     int max_rounds_per_position = 32, bool cross = false,
+                     bool daemon = false) {
   Rng rng(seed ^ 0xc4a05f0dULL);
   ChaosResult result;
   result.seed = seed;
@@ -93,6 +106,10 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
   fault::PlanEnvelope envelope;
   if (shape != nullptr) envelope = *shape;
   envelope.num_datacenters = config.num_datacenters();
+  if (daemon) {
+    envelope.allow_duplicate_burst = true;
+    envelope.allow_reorder_burst = true;
+  }
   fault::RandomPlanGenerator generator(envelope, rng.Next());
   result.plan = generator.Generate();
   cluster.ApplyFaultPlan(result.plan);
@@ -126,7 +143,26 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
     }
     runner.client.parallel_commit = seed % 4 != 3;
   }
+  if (daemon) {
+    runner.quiesce_recovery = false;
+    runner.recovery_timer = 1 * kSecond;
+    // More crashing coordinators than the plain cross slice (the daemon is
+    // what's under test); drawn after all original draws so the plain
+    // slices' sequences are untouched.
+    if (runner.client.crash_after_prepares < 0 && rng.Uniform(2) == 0) {
+      runner.client.crash_after_prepares = 1 + static_cast<int>(rng.Uniform(2));
+    }
+  }
   result.stats = workload::RunExperiment(&cluster, runner);
+  // Count pending prepares surviving on any replica of any group: with the
+  // quiesce disabled, only the daemon can have cleared them.
+  for (int g = 0; g < std::max(runner.workload.num_groups, 1); ++g) {
+    const std::string name = workload::Generator::GroupName(runner.workload, g);
+    for (DcId dc = 0; dc < config.num_datacenters(); ++dc) {
+      result.pending_after += static_cast<int>(
+          cluster.service(dc)->GroupLog(name)->PendingPrepares().size());
+    }
+  }
 
   // Classify unknown outcomes (txn::TxnOutcome::kUnknownOutcome — clients
   // that crashed/timed out mid-commit, recorded by the runner via
@@ -151,6 +187,33 @@ ChaosResult RunChaos(uint64_t seed, const fault::PlanEnvelope* shape = nullptr,
       ++result.unknown_in_log;
     } else {
       ++result.unknown_absent;
+    }
+  }
+  // PAXOSCP_CHAOS_DUMP=1 with PAXOSCP_CHAOS_REPLAY dumps every group's
+  // global log records and the cross outcomes — the raw material for
+  // diagnosing a checker violation (this is how the prepare-vs-decide
+  // id confusion fixed in ContainsRecord was found).
+  if (std::getenv("PAXOSCP_CHAOS_DUMP") != nullptr) {
+    for (int g = 0; g < num_groups; ++g) {
+      const std::string name =
+          workload::Generator::GroupName(runner.workload, g);
+      std::map<LogPos, wal::LogEntry> global_log;
+      (void)checker.CheckReplication(name, &global_log);
+      std::printf("-- group %s --\n", name.c_str());
+      for (const auto& [pos, entry] : global_log) {
+        for (const wal::TxnRecord& t : entry.txns) {
+          std::printf("  pos=%llu kind=%d id=%s commit=%d origin=%d\n",
+                      static_cast<unsigned long long>(pos),
+                      static_cast<int>(t.kind), TxnIdToString(t.id).c_str(),
+                      t.commit_decision ? 1 : 0, static_cast<int>(t.origin_dc));
+        }
+      }
+    }
+    for (const core::ClientOutcome& o : result.stats.outcomes) {
+      if (o.groups.empty()) continue;
+      std::printf("outcome id=%s committed=%d unknown=%d groups=%zu\n",
+                  TxnIdToString(o.id).c_str(), o.committed ? 1 : 0,
+                  o.unknown ? 1 : 0, o.groups.size());
     }
   }
   return result;
@@ -267,6 +330,80 @@ TEST(ChaosSweepTest, CrossGroupPlansPreserveGlobalSerializability) {
       "%d coordinator crashes recovered\n",
       static_cast<unsigned long long>(count), plans_with_faults,
       cross_committed, cross_unknown);
+}
+
+// Self-healing slice (D10): the client-side quiesce is OFF, so the only
+// thing that can resolve a crashed coordinator's pending prepare is the
+// service-side recovery daemon — under fault plans that now also duplicate
+// and reorder deliveries. Every seed must end with ZERO pending prepares
+// on every replica of every group, a green extended checker, and (being a
+// pure function of the seed) a bit-identical replay.
+TEST(ChaosSweepTest, DaemonAloneHealsPendingPrepares) {
+  const uint64_t replay = EnvOr("PAXOSCP_CHAOS_REPLAY", 0);
+  const uint64_t base = EnvOr("PAXOSCP_CHAOS_SEED_BASE", 1000) + 900000;
+  const uint64_t count =
+      replay != 0 ? 1 : EnvOr("PAXOSCP_CHAOS_RECOVERY_SEEDS", 10);
+
+  uint64_t recoveries_decided = 0, recoveries_forced = 0;
+  int cross_committed = 0, plans_with_faults = 0, delivery_fault_plans = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seed = replay != 0 ? replay : base + i;
+    const ChaosResult result = RunChaos(seed, nullptr, /*max_rounds=*/32,
+                                        /*cross=*/true, /*daemon=*/true);
+    if (replay != 0) std::printf("%s", result.Describe().c_str());
+    if (!result.ok() || result.pending_after != 0) {
+      WriteFailureArtifact(result);
+      ADD_FAILURE() << "daemon chaos run violated invariants ("
+                    << result.pending_after
+                    << " pending prepares survived)\n"
+                    << result.Describe()
+                    << "replay with: PAXOSCP_CHAOS_REPLAY=" << seed
+                    << " ./chaos_test";
+      continue;
+    }
+    recoveries_decided += result.stats.recoveries_decided;
+    recoveries_forced += result.stats.recoveries_forced_abort;
+    cross_committed += result.stats.cross_committed;
+    if (!result.plan.events.empty()) ++plans_with_faults;
+    for (const fault::FaultEvent& e : result.plan.events) {
+      if (e.kind == fault::FaultKind::kDuplicateBurst ||
+          e.kind == fault::FaultKind::kReorderBurst) {
+        ++delivery_fault_plans;
+        break;
+      }
+    }
+  }
+  if (replay == 0) {
+    EXPECT_GT(plans_with_faults, 0);
+    EXPECT_GT(delivery_fault_plans, 0)
+        << "no plan drew a duplicate/reorder burst";
+    EXPECT_GT(cross_committed, 0);
+    EXPECT_GT(recoveries_decided, 0u)
+        << "the daemon never actually recovered a transaction";
+
+    // Replay determinism with the daemon + delivery faults in play: the
+    // recovery timers are hash-derived and the fault randomness lives on
+    // its own stream, so one seed run twice is bit-identical.
+    const ChaosResult first = RunChaos(base, nullptr, 32, true, true);
+    const ChaosResult second = RunChaos(base, nullptr, 32, true, true);
+    EXPECT_EQ(first.plan.ToString(), second.plan.ToString());
+    EXPECT_EQ(first.stats.attempted, second.stats.attempted);
+    EXPECT_EQ(first.stats.committed, second.stats.committed);
+    EXPECT_EQ(first.stats.messages_sent, second.stats.messages_sent);
+    EXPECT_EQ(first.stats.virtual_duration, second.stats.virtual_duration);
+    EXPECT_EQ(first.stats.recoveries_started, second.stats.recoveries_started);
+    EXPECT_EQ(first.stats.recoveries_decided, second.stats.recoveries_decided);
+    EXPECT_EQ(first.stats.max_safe_read_pin, second.stats.max_safe_read_pin);
+    EXPECT_EQ(first.pending_after, second.pending_after);
+  }
+  std::printf(
+      "daemon chaos sweep: %llu runs, %d with faults (%d with delivery "
+      "faults), %d cross commits, %llu recoveries decided (%llu forced "
+      "aborts)\n",
+      static_cast<unsigned long long>(count), plans_with_faults,
+      delivery_fault_plans, cross_committed,
+      static_cast<unsigned long long>(recoveries_decided),
+      static_cast<unsigned long long>(recoveries_forced));
 }
 
 // A crashed/timed-out client's transaction may legitimately land in the log

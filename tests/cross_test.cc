@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "core/db.h"
+#include "net/network.h"
 #include "sim/coro.h"
 #include "txn/client.h"
 #include "txn/cross.h"
+#include "txn/messages.h"
+#include "txn/service.h"
 #include "txn/txn.h"
 #include "wal/log.h"
 #include "wal/log_entry.h"
@@ -853,6 +856,452 @@ TEST(CrossDeterminismTest, ShardedWorkloadReplaysIdentically) {
   EXPECT_GT(first.stats.cross_committed, 0);
   EXPECT_TRUE(first.stats.check.ok) << first.stats.check.ToString();
   EXPECT_TRUE(second.stats.check.ok) << second.stats.check.ToString();
+}
+
+// ------------------------------------------------------- idempotence (D10)
+
+/// Digests of every (group, dc) log — the before/after fingerprint for
+/// "this delivery was a no-op" assertions.
+std::vector<uint64_t> AllLogDigests(core::Cluster* cluster,
+                                    const std::vector<std::string>& groups) {
+  std::vector<uint64_t> digests;
+  for (const std::string& group : groups) {
+    for (DcId dc = 0; dc < cluster->num_datacenters(); ++dc) {
+      digests.push_back(LogDigest(cluster->service(dc)->GroupLog(group)));
+    }
+  }
+  return digests;
+}
+
+TEST(CrossIdempotenceTest, RedeliveredApplyBroadcastsAreNoOps) {
+  // Re-deliver the apply broadcast of EVERY decided entry — which includes
+  // the cross prepare entries and the decide entry — to every replica: a
+  // network that duplicates messages (D10) does exactly this. Logs, side
+  // tables, and the checker verdict must be byte-for-byte unchanged.
+  Db db(TestConfig(53));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  Session session = db.Session(0);
+  struct Probe {
+    CrossCommitResult commit;
+  } probe;
+  struct CommitRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "once");
+      (void)txn.Write("b", "row", "y", "once");
+      out->commit = co_await txn.Commit();
+    }
+  } commit_run;
+  commit_run(&session, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.commit.committed) << probe.commit.status.ToString();
+
+  const std::vector<std::string> groups = {"a", "b"};
+  const std::vector<uint64_t> before = AllLogDigests(db.cluster(), groups);
+  std::vector<size_t> pending_before;
+  for (const std::string& group : groups) {
+    for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+      pending_before.push_back(
+          db.cluster()->service(dc)->GroupLog(group)->PendingPrepares().size());
+    }
+  }
+
+  // Re-deliver every entry (prepares, the decide, plain writes) from dc1.
+  int redelivered = 0;
+  for (const std::string& group : groups) {
+    wal::WriteAheadLog* log = db.cluster()->service(1)->GroupLog(group);
+    for (LogPos pos = 1; pos <= log->MaxDecided(); ++pos) {
+      if (!log->HasEntry(pos)) continue;
+      Result<wal::LogEntry> entry = log->GetEntry(pos);
+      ASSERT_TRUE(entry.ok());
+      for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+        db.cluster()->network()->Call(
+            1, dc,
+            std::any(txn::ServiceRequest(
+                txn::ApplyRequest{group, pos, paxos::Ballot(), *entry})));
+        ++redelivered;
+      }
+    }
+  }
+  ASSERT_GT(redelivered, 0);
+  db.Run();
+
+  EXPECT_EQ(AllLogDigests(db.cluster(), groups), before);
+  std::vector<size_t> pending_after;
+  for (const std::string& group : groups) {
+    for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+      pending_after.push_back(
+          db.cluster()->service(dc)->GroupLog(group)->PendingPrepares().size());
+    }
+  }
+  EXPECT_EQ(pending_after, pending_before);
+  core::CheckReport report = db.Check(groups);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossIdempotenceTest, DuplicateRecoveryInvocationsConverge) {
+  // Three recovery clients attack the same crashed transaction
+  // concurrently, then a fourth re-runs after they finish (the daemon, a
+  // quiesce client, and a duplicated request can all collide like this):
+  // every invocation must succeed, agree on the outcome, and leave the
+  // logs exactly as a single invocation would.
+  Db db(TestConfig(41));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+    TxnId crashed_id = 0;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      out->crashed_id = txn.id();
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  struct RecoveryProbe {
+    Status recovered = Status::Internal("unset");
+  };
+  struct RecoveryRun {
+    sim::Task operator()(txn::TransactionClient* c, TxnId id,
+                         RecoveryProbe* out) {
+      out->recovered = co_await c->RecoverCrossTxn("a", id);
+    }
+  } recovery_run;
+
+  RecoveryProbe first, second, third;
+  recovery_run(db.cluster()->CreateClient(0, ClientOptions{}),
+               probe.crashed_id, &first);
+  recovery_run(db.cluster()->CreateClient(1, ClientOptions{}),
+               probe.crashed_id, &second);
+  recovery_run(db.cluster()->CreateClient(2, ClientOptions{}),
+               probe.crashed_id, &third);
+  db.Run();
+  EXPECT_TRUE(first.recovered.ok()) << first.recovered.ToString();
+  EXPECT_TRUE(second.recovered.ok()) << second.recovered.ToString();
+  EXPECT_TRUE(third.recovered.ok()) << third.recovered.ToString();
+
+  const std::vector<std::string> groups = {"a", "b"};
+  const std::vector<uint64_t> settled = AllLogDigests(db.cluster(), groups);
+
+  // The late duplicate: recovery of an already-recovered transaction must
+  // adopt the existing decision and change nothing.
+  RecoveryProbe late;
+  recovery_run(db.cluster()->CreateClient(1, ClientOptions{}),
+               probe.crashed_id, &late);
+  db.Run();
+  EXPECT_TRUE(late.recovered.ok()) << late.recovered.ToString();
+  EXPECT_EQ(AllLogDigests(db.cluster(), groups), settled);
+
+  for (const std::string& group : groups) {
+    for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+      EXPECT_TRUE(db.cluster()
+                      ->service(dc)
+                      ->GroupLog(group)
+                      ->PendingPrepares()
+                      .empty())
+          << "group " << group << " dc " << dc;
+    }
+  }
+  // The forced abort stuck: the crashed writes never surface.
+  wal::WriteAheadLog* log_a = db.cluster()->service(0)->GroupLog("a");
+  ASSERT_TRUE(log_a->ApplyThrough(log_a->SafeReadPos()).ok());
+  EXPECT_EQ(log_a->ReadItem({"row", "x"}, log_a->SafeReadPos()).value, "0");
+  core::CheckReport report = db.Check(groups);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(CrossIdempotenceTest, DuplicatingNetworkKeepsWorkloadSerializable) {
+  // End-to-end: a network that duplicates a quarter of all requests and
+  // holds some back must leave the sharded workload serializable and
+  // deterministic (two runs with the same seed produce identical logs).
+  auto run_once = [](uint64_t seed) {
+    core::Cluster cluster(TestConfig(911));
+    cluster.network()->set_duplicate_probability(0.25);
+    cluster.network()->set_reorder_probability(0.25);
+    cluster.network()->set_reorder_extra_max(50 * kMillisecond);
+
+    workload::RunnerConfig runner;
+    runner.workload.num_attributes = 40;
+    runner.workload.num_groups = 2;
+    runner.workload.cross_fraction = 0.35;
+    runner.total_txns = 60;
+    runner.num_threads = 3;
+    runner.stagger = 200 * kMillisecond;
+    runner.target_rate_tps = 1.0;
+    runner.seed = seed;
+
+    DeterminismRun out;
+    out.stats = workload::RunExperiment(&cluster, runner);
+    EXPECT_GT(cluster.network()->messages_duplicated(), 0u);
+    EXPECT_GT(cluster.network()->messages_reordered(), 0u);
+    for (int i = 0; i < runner.workload.num_groups; ++i) {
+      const std::string name =
+          workload::Generator::GroupName(runner.workload, i);
+      for (DcId dc = 0; dc < cluster.num_datacenters(); ++dc) {
+        out.digests.push_back(LogDigest(cluster.service(dc)->GroupLog(name)));
+      }
+    }
+    return out;
+  };
+  DeterminismRun first = run_once(8120);
+  DeterminismRun second = run_once(8120);
+  EXPECT_TRUE(first.stats.check.ok) << first.stats.check.ToString();
+  EXPECT_GT(first.stats.committed, 0);
+  EXPECT_GT(first.stats.cross_committed, 0);
+  EXPECT_EQ(first.stats.attempted, second.stats.attempted);
+  EXPECT_EQ(first.stats.committed, second.stats.committed);
+  EXPECT_EQ(first.stats.messages_sent, second.stats.messages_sent);
+  EXPECT_EQ(first.stats.virtual_duration, second.stats.virtual_duration);
+  EXPECT_EQ(first.digests, second.digests);
+}
+
+// ------------------------------------- service-side recovery daemon (D10)
+
+TEST(RecoveryDaemonTest, DaemonResolvesCrashedCoordinatorWithoutClients) {
+  Db db(TestConfig(61));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  txn::RecoveryDaemonOptions daemon;
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    db.cluster()->service(dc)->StartRecoveryDaemon(daemon);
+  }
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();  // drains the crash AND the daemon's recovery
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  // No client ever ran recovery, yet no replica holds a pending prepare.
+  uint64_t started = 0, decided = 0, forced = 0;
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    txn::TransactionService* service = db.cluster()->service(dc);
+    started += service->recoveries_started();
+    decided += service->recoveries_decided();
+    forced += service->recoveries_forced_abort();
+    for (const char* g : {"a", "b"}) {
+      EXPECT_TRUE(service->GroupLog(g)->PendingPrepares().empty())
+          << "dc " << dc << " group " << g;
+    }
+    EXPECT_GT(service->MaxSafeReadPosPin(db.simulator()->Now()), 0);
+  }
+  EXPECT_GE(started, 1u);
+  EXPECT_GE(decided, 1u);
+  EXPECT_GE(forced, 1u);  // no decide existed: only force-abort finishes it
+
+  // The forced abort preserved the old values and the history checks out.
+  wal::WriteAheadLog* log_a = db.cluster()->service(0)->GroupLog("a");
+  ASSERT_TRUE(log_a->ApplyThrough(log_a->SafeReadPos()).ok());
+  EXPECT_EQ(log_a->ReadItem({"row", "x"}, log_a->SafeReadPos()).value, "0");
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(RecoveryDaemonTest, ArbiterDrivesWatchersStayQuiet) {
+  // With every datacenter live, only the deterministic arbiter (lowest
+  // DC) drives recovery; the watchers' deferral backoff outlasts the
+  // arbiter's fix, so they never fire a duplicate drive.
+  Db db(TestConfig(61));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    db.cluster()->service(dc)->StartRecoveryDaemon({});
+  }
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  EXPECT_GE(db.cluster()->service(0)->recoveries_started(), 1u);
+  EXPECT_EQ(db.cluster()->service(1)->recoveries_started(), 0u);
+  EXPECT_EQ(db.cluster()->service(2)->recoveries_started(), 0u);
+}
+
+TEST(RecoveryDaemonTest, ArbitrationMovesWhenLowestDcIsDown) {
+  // The arbiter role is "lowest LIVE datacenter": with dc0 down, dc1 must
+  // recognize itself as arbiter and drive (majority dc1+dc2 suffices).
+  Db db(TestConfig(67));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+  db.cluster()->network()->SetDatacenterDown(0, true);
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    db.cluster()->service(dc)->StartRecoveryDaemon({});
+  }
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(1, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  EXPECT_EQ(db.cluster()->service(0)->recoveries_started(), 0u);
+  EXPECT_GE(db.cluster()->service(1)->recoveries_started(), 1u);
+  for (DcId dc : {1, 2}) {
+    for (const char* g : {"a", "b"}) {
+      EXPECT_TRUE(
+          db.cluster()->service(dc)->GroupLog(g)->PendingPrepares().empty())
+          << "dc " << dc << " group " << g;
+    }
+  }
+}
+
+TEST(RecoveryDaemonTest, StopCancelsAdoptedTimers) {
+  Db db(TestConfig(41));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  // Start adopts the existing pending prepares and arms timers; Stop's
+  // generation bump turns every one of them into a no-op.
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    db.cluster()->service(dc)->StartRecoveryDaemon({});
+    EXPECT_TRUE(db.cluster()->service(dc)->recovery_daemon_running());
+    db.cluster()->service(dc)->StopRecoveryDaemon();
+    EXPECT_FALSE(db.cluster()->service(dc)->recovery_daemon_running());
+  }
+  db.Run();
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    EXPECT_EQ(db.cluster()->service(dc)->recoveries_started(), 0u);
+  }
+  EXPECT_FALSE(
+      db.cluster()->service(0)->GroupLog("a")->PendingPrepares().empty());
+}
+
+TEST(RecoveryDaemonTest, DaemonSurvivesServiceRestart) {
+  // A mid-run service restart must not lose the daemon: the replacement
+  // re-discovers pending prepares from the durable WAL side tables and
+  // keeps healing.
+  Db db(TestConfig(71));
+  ASSERT_TRUE(db.Load("a", "row", {{"x", "0"}}).ok());
+  ASSERT_TRUE(db.Load("b", "row", {{"y", "0"}}).ok());
+
+  ClientOptions crashy;
+  crashy.crash_after_prepares = 2;
+  Session doomed = db.Session(0, crashy);
+  struct Probe {
+    CrossCommitResult crash_commit;
+  } probe;
+  struct CrashRun {
+    sim::Task operator()(Session* s, Probe* out) {
+      const std::vector<std::string> ab = {"a", "b"};
+      CrossTxn txn = co_await s->BeginCross(ab);
+      EXPECT_TRUE(txn.active());
+      if (!txn.active()) co_return;
+      (void)txn.Write("a", "row", "x", "crashed");
+      (void)txn.Write("b", "row", "y", "crashed");
+      out->crash_commit = co_await txn.Commit();
+    }
+  } crash_run;
+  crash_run(&doomed, &probe);
+  db.Run();
+  ASSERT_TRUE(probe.crash_commit.unknown);
+
+  // Daemon started only now (pendings already durable), then the arbiter's
+  // process is immediately restarted: the replacement must adopt and heal.
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    db.cluster()->service(dc)->StartRecoveryDaemon({});
+  }
+  db.cluster()->RestartService(0);
+  EXPECT_TRUE(db.cluster()->service(0)->recovery_daemon_running());
+  db.Run();
+
+  for (DcId dc = 0; dc < db.num_datacenters(); ++dc) {
+    for (const char* g : {"a", "b"}) {
+      EXPECT_TRUE(
+          db.cluster()->service(dc)->GroupLog(g)->PendingPrepares().empty())
+          << "dc " << dc << " group " << g;
+    }
+  }
+  EXPECT_GE(db.cluster()->service(0)->recoveries_started(), 1u);
+  core::CheckReport report = db.Check(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(report.ok) << report.ToString();
 }
 
 // ------------------------------------------------------- checker coverage

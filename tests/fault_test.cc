@@ -69,6 +69,8 @@ void ValidateAgainstEnvelope(const FaultPlan& plan,
   std::set<DcId> down_dcs;
   std::map<std::pair<DcId, DcId>, int> cut_links;  // directed
   bool loss_active = false;
+  bool duplicate_active = false;
+  bool reorder_active = false;
   int max_concurrent = 0;
   TimeMicros previous = 0;
   for (const FaultEvent& e : plan.events) {
@@ -113,6 +115,28 @@ void ValidateAgainstEnvelope(const FaultPlan& plan,
         ASSERT_TRUE(loss_active);
         loss_active = false;
         break;
+      case FaultKind::kDuplicateBurst:
+        ASSERT_FALSE(duplicate_active) << "overlapping duplicate bursts";
+        ASSERT_GE(e.loss, envelope.min_duplicate_burst);
+        ASSERT_LE(e.loss, envelope.max_duplicate_burst);
+        duplicate_active = true;
+        break;
+      case FaultKind::kDuplicateRestore:
+        ASSERT_TRUE(duplicate_active);
+        duplicate_active = false;
+        break;
+      case FaultKind::kReorderBurst:
+        ASSERT_FALSE(reorder_active) << "overlapping reorder bursts";
+        ASSERT_GE(e.loss, envelope.min_reorder_burst);
+        ASSERT_LE(e.loss, envelope.max_reorder_burst);
+        ASSERT_GT(e.extra, 0);
+        ASSERT_LE(e.extra, envelope.max_reorder_extra);
+        reorder_active = true;
+        break;
+      case FaultKind::kReorderRestore:
+        ASSERT_TRUE(reorder_active);
+        reorder_active = false;
+        break;
       case FaultKind::kServiceRestart:
         break;
     }
@@ -130,6 +154,8 @@ void ValidateAgainstEnvelope(const FaultPlan& plan,
   // Every fault healed within the plan.
   EXPECT_TRUE(down_dcs.empty());
   EXPECT_FALSE(loss_active);
+  EXPECT_FALSE(duplicate_active);
+  EXPECT_FALSE(reorder_active);
   for (const auto& [link, count] : cut_links) EXPECT_EQ(count, 0);
   EXPECT_LE(max_concurrent, envelope.max_concurrent_dc_outages);
 }
@@ -177,6 +203,104 @@ TEST(RandomPlanGeneratorTest, AllShapesDisabledYieldsEmptyPlan) {
   envelope.allow_loss_burst = envelope.allow_service_restart = false;
   RandomPlanGenerator generator(envelope, 1);
   EXPECT_TRUE(generator.Generate().events.empty());
+}
+
+// ---- Adversarial delivery faults (D10) -----------------------------------
+
+TEST(FaultPlanTest, DeliveryFaultEventsPrintReplayableLines) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {1 * kSecond, FaultKind::kDuplicateBurst, kNoDc, kNoDc, 0.25});
+  plan.events.push_back({2 * kSecond, FaultKind::kReorderBurst, kNoDc, kNoDc,
+                         0.125, 500 * kMillisecond});
+  plan.events.push_back(
+      {3 * kSecond, FaultKind::kDuplicateRestore, kNoDc, kNoDc, 0});
+  plan.events.push_back(
+      {4 * kSecond, FaultKind::kReorderRestore, kNoDc, kNoDc, 0});
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("t=1.000s duplicate_burst p=0.250"), std::string::npos) << s;
+  EXPECT_NE(s.find("t=2.000s reorder_burst p=0.125 extra=0.500s"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("t=3.000s duplicate_restore"), std::string::npos) << s;
+  EXPECT_NE(s.find("t=4.000s reorder_restore"), std::string::npos) << s;
+}
+
+TEST(RandomPlanGeneratorTest, DeliveryFaultShapesRespectTheEnvelope) {
+  PlanEnvelope envelope = SmallEnvelope();
+  envelope.allow_duplicate_burst = true;
+  envelope.allow_reorder_burst = true;
+  RandomPlanGenerator generator(envelope, 17);
+  bool saw_duplicate = false, saw_reorder = false;
+  for (int i = 0; i < 300; ++i) {
+    const FaultPlan plan = generator.Generate();
+    ValidateAgainstEnvelope(plan, generator.envelope());
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "offending plan (draw " << i << "):\n"
+                    << plan.ToString();
+      return;
+    }
+    for (const FaultEvent& e : plan.events) {
+      saw_duplicate |= e.kind == FaultKind::kDuplicateBurst;
+      saw_reorder |= e.kind == FaultKind::kReorderBurst;
+    }
+  }
+  EXPECT_TRUE(saw_duplicate) << "sweep never drew a duplicate burst";
+  EXPECT_TRUE(saw_reorder) << "sweep never drew a reorder burst";
+}
+
+TEST(RandomPlanGeneratorTest, DeliveryFaultShapesAreOffByDefault) {
+  // Historical (seed, envelope) pairs must replay to the exact same plans:
+  // the new shapes are appended after the originals and gated behind allow
+  // flags that default to false, so a default envelope never draws them.
+  RandomPlanGenerator generator(SmallEnvelope(), 99);
+  for (int i = 0; i < 200; ++i) {
+    for (const FaultEvent& e : generator.Generate().events) {
+      EXPECT_NE(e.kind, FaultKind::kDuplicateBurst);
+      EXPECT_NE(e.kind, FaultKind::kReorderBurst);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DeliveryFaultBurstsApplyAndRestoreBaselines) {
+  sim::Simulator sim;
+  std::vector<std::vector<TimeMicros>> rtt(2,
+                                           std::vector<TimeMicros>(2, 1000));
+  net::NetworkOptions options;
+  options.duplicate_probability = 0.01;  // non-zero baselines must return
+  options.reorder_probability = 0.02;
+  options.reorder_extra_max = 40 * kMillisecond;
+  net::Network network(&sim, rtt, options);
+
+  FaultPlan plan;
+  plan.events.push_back(
+      {1 * kSecond, FaultKind::kDuplicateBurst, kNoDc, kNoDc, 0.5});
+  plan.events.push_back({2 * kSecond, FaultKind::kReorderBurst, kNoDc, kNoDc,
+                         0.25, 300 * kMillisecond});
+  plan.events.push_back(
+      {3 * kSecond, FaultKind::kDuplicateRestore, kNoDc, kNoDc, 0});
+  plan.events.push_back(
+      {4 * kSecond, FaultKind::kReorderRestore, kNoDc, kNoDc, 0});
+
+  FaultInjector injector(&network);
+  injector.Arm(plan);
+
+  auto probe = [&](TimeMicros at, std::function<void()> check) {
+    sim.ScheduleAt(at + kMillisecond, std::move(check));
+  };
+  probe(1 * kSecond, [&] { EXPECT_EQ(network.duplicate_probability(), 0.5); });
+  probe(2 * kSecond, [&] {
+    EXPECT_EQ(network.reorder_probability(), 0.25);
+    EXPECT_EQ(network.reorder_extra_max(), 300 * kMillisecond);
+  });
+  probe(3 * kSecond,
+        [&] { EXPECT_EQ(network.duplicate_probability(), 0.01); });
+  probe(4 * kSecond, [&] {
+    EXPECT_EQ(network.reorder_probability(), 0.02);
+    EXPECT_EQ(network.reorder_extra_max(), 40 * kMillisecond);
+  });
+  sim.Run();
+  EXPECT_EQ(injector.events_applied(), 4);
 }
 
 TEST(FaultInjectorTest, AppliesEventsAtScheduledTimes) {

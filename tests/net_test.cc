@@ -377,6 +377,149 @@ TEST_F(NetworkTest, OneWayCutMidFlightDropsTheResponse) {
   EXPECT_TRUE(result->status.IsTimedOut());
 }
 
+// ---- Adversarial delivery faults (ARCHITECTURE.md design note D10) -------
+// Duplication re-delivers the REQUEST (the handler runs twice — the
+// idempotence exercise); responses race into a first-set-wins promise, so
+// the caller always sees exactly one result. All duplication/reorder
+// randomness draws from a dedicated fault stream, so enabling the faults
+// never perturbs the primary copies' delivery schedule.
+
+TEST_F(NetworkTest, DuplicateDeliversHandlerTwice) {
+  Build(2);
+  network_->set_duplicate_probability(1.0);
+  int handled = 0;
+  network_->RegisterEndpoint(
+      1, [&](DcId, const std::any*) -> sim::Coro<std::any> {
+        ++handled;
+        co_return std::any(std::string("pong"));
+      });
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")))
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(handled, 2);  // both copies reach the handler
+  EXPECT_EQ(network_->messages_duplicated(), 1u);
+}
+
+TEST_F(NetworkTest, ReorderHoldsMessageBackWithinBound) {
+  NetworkOptions options;
+  options.reorder_probability = 1.0;
+  options.reorder_extra_max = 20 * kMillisecond;
+  Build(2, options);
+  std::optional<CallResult> result;
+  TimeMicros completed_at = -1;
+  network_->Call(0, 1, std::any(std::string("x")), 2 * kSecond)
+      .OnReady([&](CallResult&& r) {
+        result = std::move(r);
+        completed_at = sim_.Now();
+      });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok());
+  // Both legs drew an extra in (0, 20 ms]; total must exceed the clean RTT
+  // and stay under RTT + 2 * extra_max (plus delivery-event slack).
+  EXPECT_GT(completed_at, kRtt);
+  EXPECT_LE(completed_at, kRtt + 2 * options.reorder_extra_max + 2);
+  EXPECT_EQ(network_->messages_reordered(), 2u);  // request + response
+}
+
+TEST_F(NetworkTest, DeliveryFaultsAreDeterministicPerSeed) {
+  // Same seed, same call pattern -> identical delivery schedule, twice.
+  auto run_once = [&](std::vector<TimeMicros>* completions,
+                      uint64_t* duplicated, uint64_t* reordered) {
+    sim::Simulator sim;
+    NetworkOptions options;
+    options.seed = 42;
+    options.latency_jitter = 0.1;
+    options.duplicate_probability = 0.3;
+    options.reorder_probability = 0.3;
+    options.reorder_extra_max = 15 * kMillisecond;
+    std::vector<std::vector<TimeMicros>> rtt(
+        3, std::vector<TimeMicros>(3, kRtt));
+    Network network(&sim, rtt, options);
+    for (DcId dc = 0; dc < 3; ++dc) {
+      network.RegisterEndpoint(dc, EchoHandler(&sim, dc));
+    }
+    for (int i = 0; i < 40; ++i) {
+      network.Call(0, 1 + i % 2, std::any(std::to_string(i)))
+          .OnReady([&](CallResult&&) { completions->push_back(sim.Now()); });
+      sim.Run();
+    }
+    *duplicated = network.messages_duplicated();
+    *reordered = network.messages_reordered();
+  };
+  std::vector<TimeMicros> first, second;
+  uint64_t dup1 = 0, dup2 = 0, re1 = 0, re2 = 0;
+  run_once(&first, &dup1, &re1);
+  run_once(&second, &dup2, &re2);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(dup1, dup2);
+  EXPECT_EQ(re1, re2);
+  EXPECT_GT(dup1, 0u);  // the sweep actually exercised both faults
+  EXPECT_GT(re1, 0u);
+}
+
+TEST_F(NetworkTest, FaultStreamNeverPerturbsPrimarySchedule) {
+  // With jitter on (so the main RNG stream is live), enabling duplication
+  // must leave every primary copy's completion time untouched: duplicate
+  // scheduling and the duplicate's response leg draw only from the fault
+  // stream.
+  auto run_once = [&](double duplicate_probability,
+                      std::vector<TimeMicros>* completions) {
+    sim::Simulator sim;
+    NetworkOptions options;
+    options.seed = 7;
+    options.latency_jitter = 0.1;
+    options.duplicate_probability = duplicate_probability;
+    std::vector<std::vector<TimeMicros>> rtt(
+        2, std::vector<TimeMicros>(2, kRtt));
+    Network network(&sim, rtt, options);
+    network.RegisterEndpoint(1, EchoHandler(&sim, 1));
+    for (int i = 0; i < 30; ++i) {
+      network.Call(0, 1, std::any(std::to_string(i)))
+          .OnReady([&](CallResult&&) { completions->push_back(sim.Now()); });
+      sim.Run();
+    }
+  };
+  std::vector<TimeMicros> clean, duplicated;
+  run_once(0.0, &clean);
+  run_once(1.0, &duplicated);
+  EXPECT_EQ(clean, duplicated);
+}
+
+TEST_F(NetworkTest, DuplicateRespectsOutageWindows) {
+  // The duplicate captures the same channel epoch as its original (D6): a
+  // flap between the primary delivery and the duplicate's later delivery
+  // kills the duplicate even though the link is up again when it arrives.
+  NetworkOptions options;
+  options.duplicate_probability = 1.0;
+  options.reorder_extra_max = 20 * kMillisecond;  // bounds the dup lag
+  Build(2, options);
+  int handled = 0;
+  network_->RegisterEndpoint(
+      1, [&](DcId, const std::any*) -> sim::Coro<std::any> {
+        ++handled;
+        co_return std::any(std::string("pong"));
+      });
+  std::optional<CallResult> result;
+  network_->Call(0, 1, std::any(std::string("x")), 100 * kMillisecond)
+      .OnReady([&](CallResult&& r) { result = std::move(r); });
+  // Primary arrives at 5 ms; the duplicate lags it by (0, 20 ms]. Flap the
+  // destination down/up in between: epoch bumped, duplicate dead on
+  // arrival.
+  sim_.ScheduleAfter(5 * kMillisecond + 100,
+                     [&] { network_->SetDatacenterDown(1, true); });
+  sim_.ScheduleAfter(5 * kMillisecond + 200,
+                     [&] { network_->SetDatacenterDown(1, false); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(handled, 1);  // only the primary copy was delivered
+  EXPECT_EQ(network_->messages_duplicated(), 1u);
+}
+
 TEST_F(NetworkTest, RecoveredDatacenterServesAgain) {
   Build(2);
   network_->SetDatacenterDown(1, true);
