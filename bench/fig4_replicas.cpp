@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       "with replicas; promotion rounds stack latency");
 
   std::vector<std::vector<std::string>> rows;
-  for (const std::string& code : {"VV", "VVV", "VVVO", "VVVOC"}) {
+  for (const std::string code : {"VV", "VVV", "VVVO", "VVVOC"}) {
     for (txn::Protocol protocol :
          {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
       workload::RunnerConfig config = bench::PaperWorkload(protocol);
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nLatency by promotion round (Paxos-CP, committed txns, mean ms):\n");
   std::vector<std::vector<std::string>> latency_rows;
-  for (const std::string& code : {"VV", "VVV", "VVVO", "VVVOC"}) {
+  for (const std::string code : {"VV", "VVV", "VVVO", "VVVOC"}) {
     workload::RunnerConfig config =
         bench::PaperWorkload(txn::Protocol::kPaxosCP);
     workload::RunStats stats =

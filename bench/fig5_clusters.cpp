@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       "combinations");
 
   std::vector<std::vector<std::string>> rows;
-  for (const std::string& code :
+  for (const std::string code :
        {"VV", "OV", "VVV", "COV", "VVVO", "COVVV"}) {
     for (txn::Protocol protocol :
          {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {

@@ -49,7 +49,13 @@ void BM_StoreReadSnapshot(benchmark::State& state) {
   for (Timestamp ts = 1; ts <= state.range(0); ++ts) {
     AttrMap attrs;
     for (int a = 0; a < 16; ++a) {
-      attrs["a" + std::to_string(a)] = "value-" + std::to_string(ts);
+      // += instead of `"a" + std::to_string(a)`: GCC 12 -O2 flags the
+      // prepend-into-temporary form with a spurious -Wrestrict.
+      std::string name = "a";
+      name += std::to_string(a);
+      std::string value = "value-";
+      value += std::to_string(ts);
+      attrs[name] = value;
     }
     (void)store.Write("row", std::move(attrs), ts);
   }

@@ -27,36 +27,38 @@ const char* FaultKindName(FaultKind kind) {
 
 std::string FaultEvent::ToString() const {
   char buf[96];
+  const double at_s = static_cast<double>(at) / 1e6;
   switch (kind) {
     case FaultKind::kDatacenterDown:
     case FaultKind::kDatacenterUp:
     case FaultKind::kServiceRestart:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s dc=%d", at / 1e6,
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s dc=%d", at_s,
                     FaultKindName(kind), a);
       break;
     case FaultKind::kLinkDown:
     case FaultKind::kLinkUp:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s %d<->%d", at / 1e6,
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s %d<->%d", at_s,
                     FaultKindName(kind), a, b);
       break;
     case FaultKind::kLinkOneWayDown:
     case FaultKind::kLinkOneWayUp:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s %d->%d", at / 1e6,
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s %d->%d", at_s,
                     FaultKindName(kind), a, b);
       break;
     case FaultKind::kLossBurst:
     case FaultKind::kDuplicateBurst:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f", at / 1e6,
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f", at_s,
                     FaultKindName(kind), loss);
       break;
     case FaultKind::kReorderBurst:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f extra=%.3fs",
-                    at / 1e6, FaultKindName(kind), loss, extra / 1e6);
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s p=%.3f extra=%.3fs", at_s,
+                    FaultKindName(kind), loss,
+                    static_cast<double>(extra) / 1e6);
       break;
     case FaultKind::kLossRestore:
     case FaultKind::kDuplicateRestore:
     case FaultKind::kReorderRestore:
-      std::snprintf(buf, sizeof(buf), "t=%.3fs %s", at / 1e6,
+      std::snprintf(buf, sizeof(buf), "t=%.3fs %s", at_s,
                     FaultKindName(kind));
       break;
   }

@@ -73,22 +73,22 @@ sim::Coro<std::any> TransactionService::Handle(DcId from,
   (void)from;
   const ServiceRequest& req = std::any_cast<const ServiceRequest&>(*request);
   ServiceResponse response;
-  if (const auto* r = std::get_if<BeginRequest>(&req)) {
-    response = co_await HandleBegin(r);
-  } else if (const auto* r = std::get_if<ReadRequest>(&req)) {
-    response = co_await HandleRead(r);
-  } else if (const auto* r = std::get_if<ReadRowRequest>(&req)) {
-    response = co_await HandleReadRow(r);
-  } else if (const auto* r = std::get_if<PrepareRequest>(&req)) {
-    response = co_await HandlePrepare(r);
-  } else if (const auto* r = std::get_if<AcceptRequest>(&req)) {
-    response = co_await HandleAccept(r);
-  } else if (const auto* r = std::get_if<ApplyRequest>(&req)) {
-    response = co_await HandleApply(r);
-  } else if (const auto* r = std::get_if<ClaimLeaderRequest>(&req)) {
-    response = co_await HandleClaimLeader(r);
-  } else if (const auto* r = std::get_if<QueryCrossRequest>(&req)) {
-    response = co_await HandleQueryCross(r);
+  if (const auto* begin = std::get_if<BeginRequest>(&req)) {
+    response = co_await HandleBegin(begin);
+  } else if (const auto* read = std::get_if<ReadRequest>(&req)) {
+    response = co_await HandleRead(read);
+  } else if (const auto* read_row = std::get_if<ReadRowRequest>(&req)) {
+    response = co_await HandleReadRow(read_row);
+  } else if (const auto* prepare = std::get_if<PrepareRequest>(&req)) {
+    response = co_await HandlePrepare(prepare);
+  } else if (const auto* accept = std::get_if<AcceptRequest>(&req)) {
+    response = co_await HandleAccept(accept);
+  } else if (const auto* apply = std::get_if<ApplyRequest>(&req)) {
+    response = co_await HandleApply(apply);
+  } else if (const auto* claim = std::get_if<ClaimLeaderRequest>(&req)) {
+    response = co_await HandleClaimLeader(claim);
+  } else if (const auto* query = std::get_if<QueryCrossRequest>(&req)) {
+    response = co_await HandleQueryCross(query);
   }
   co_return std::any(std::move(response));
 }

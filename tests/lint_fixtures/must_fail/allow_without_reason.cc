@@ -1,0 +1,13 @@
+// EXPECT: annotation-error
+// A LINT:allow with no justification is itself an error: suppressions
+// without a recorded "why" are how invariants rot.
+#include <chrono>
+
+namespace paxoscp {
+
+long Sample() {
+  // LINT:allow(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace paxoscp

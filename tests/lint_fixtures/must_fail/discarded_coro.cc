@@ -1,0 +1,29 @@
+// EXPECT: discarded-coro
+// A bare `co_await Fn(...);` throws away the T in Coro<T>. Results in
+// this codebase carry statuses and commit decisions; dropping one hid a
+// real decided-but-unapplied bug once (PR 3).
+namespace paxoscp {
+
+template <typename T>
+struct Coro {
+  T value;
+};
+
+struct Status {
+  bool ok;
+};
+
+struct Engine {
+  Coro<Status> PropagateDecide(int group);
+};
+
+struct Driver {
+  Engine* engine;
+
+  Coro<Status> Run() {
+    co_await engine->PropagateDecide(7);
+    co_return Status{true};
+  }
+};
+
+}  // namespace paxoscp

@@ -1,0 +1,21 @@
+// EXPECT: ref-capture-schedule
+// A [&] lambda handed to the event queue runs after the enclosing frame
+// may be gone — the classic coroutine-era dangling capture.
+namespace paxoscp {
+
+struct Simulator {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+};
+
+void Retry(Simulator* sim) {
+  int attempts = 0;
+  sim->ScheduleAfter(10, [&] { ++attempts; });
+}
+
+void RetryNamed(Simulator* sim) {
+  int attempts = 0;
+  sim->ScheduleAfter(10, [&attempts]() mutable { ++attempts; });
+}
+
+}  // namespace paxoscp

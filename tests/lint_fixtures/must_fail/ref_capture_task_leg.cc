@@ -1,0 +1,17 @@
+// EXPECT: ref-capture-schedule
+// Detached coroutine legs (Task-returning functions) are spawn points:
+// a reference capture in a callback passed to one outlives the caller.
+#include <functional>
+
+namespace paxoscp {
+
+struct Task {};
+
+Task DriveLeg(std::function<void()> on_done);
+
+void Launch() {
+  bool finished = false;
+  DriveLeg([&finished] { finished = true; });
+}
+
+}  // namespace paxoscp

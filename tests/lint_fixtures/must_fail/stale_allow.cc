@@ -1,0 +1,11 @@
+// EXPECT: annotation-error
+// An allow that no longer suppresses anything must be deleted, not left
+// to silently bless a future regression.
+namespace paxoscp {
+
+int PlainFunction() {
+  // LINT:allow(wall-clock): this comment outlived the code it excused
+  return 42;
+}
+
+}  // namespace paxoscp

@@ -1,0 +1,17 @@
+// EXPECT: unordered-iter
+// Explicit begin() iteration over an unordered_set is the same hazard as
+// a range-for: the visit order is not part of the seeded state.
+#include <unordered_set>
+
+namespace paxoscp {
+
+int FirstElement(const std::unordered_set<int>& s);
+
+int Demo() {
+  std::unordered_set<int> live_ids;
+  live_ids.insert(7);
+  auto it = live_ids.begin();
+  return it == live_ids.end() ? -1 : *it;
+}
+
+}  // namespace paxoscp

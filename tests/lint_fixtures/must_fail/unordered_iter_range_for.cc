@@ -1,0 +1,19 @@
+// EXPECT: unordered-iter
+// Range-for over an unordered_map visits elements in hash-layout order,
+// which differs across toolchains/ASLR runs — replay-order hazard.
+#include <string>
+#include <unordered_map>
+
+namespace paxoscp {
+
+struct PendingSet {
+  std::unordered_map<std::string, int> pending_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [key, value] : pending_) total += value;
+    return total;
+  }
+};
+
+}  // namespace paxoscp

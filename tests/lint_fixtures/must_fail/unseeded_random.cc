@@ -1,0 +1,14 @@
+// EXPECT: unseeded-random
+// std::random_device / mt19937 outside common/random break replay: the
+// seed is not part of the experiment's recorded configuration.
+#include <random>
+
+namespace paxoscp {
+
+int RollDice() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen() % 6) + 1;
+}
+
+}  // namespace paxoscp

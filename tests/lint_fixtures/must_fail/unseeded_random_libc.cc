@@ -1,0 +1,9 @@
+// EXPECT: unseeded-random
+// rand()/srand() draw from hidden global state; nothing records the seed.
+#include <cstdlib>
+
+namespace paxoscp {
+
+int Jitter() { return rand() % 100; }
+
+}  // namespace paxoscp

@@ -1,0 +1,21 @@
+// EXPECT: wall-clock
+// Wall-clock reads differ run to run; all time must come from
+// sim::Simulator::Now() so seeded replay stays bit-identical.
+#include <chrono>
+
+namespace paxoscp {
+
+long NowMicros() {
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+long MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace paxoscp

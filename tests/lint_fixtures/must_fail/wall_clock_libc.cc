@@ -1,0 +1,9 @@
+// EXPECT: wall-clock
+// The libc spellings of wall-clock time are banned the same as chrono's.
+#include <ctime>
+
+namespace paxoscp {
+
+long EpochSeconds() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace paxoscp

@@ -1,0 +1,36 @@
+// Consumed Coro<T> results — assignment (including multi-line), return
+// position, condition position — and bare awaits of Coro<void>, which
+// carry no value to drop.
+namespace paxoscp {
+
+template <typename T>
+struct Coro {
+  T value;
+};
+
+template <>
+struct Coro<void> {};
+
+struct Status {
+  bool ok;
+};
+
+struct Engine {
+  Coro<Status> ProposeDecide(int group);
+  Coro<void> AwaitApplied(int group);
+};
+
+struct Driver {
+  Engine* engine;
+
+  Coro<Status> Run() {
+    Status direct = co_await engine->ProposeDecide(1);
+    Status wrapped =
+        co_await engine->ProposeDecide(2);
+    co_await engine->AwaitApplied(3);
+    if (direct.ok && wrapped.ok) co_return direct;
+    co_return co_await engine->ProposeDecide(4);
+  }
+};
+
+}  // namespace paxoscp

@@ -1,0 +1,27 @@
+// Ordered containers iterate deterministically; unordered containers are
+// fine for point lookups (find/count/insert/erase) — only *iteration*
+// order is the replay hazard.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace paxoscp {
+
+struct Index {
+  std::map<std::string, int> ordered_;
+  std::unordered_map<std::string, int> lookup_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [key, value] : ordered_) total += value;
+    return total;
+  }
+
+  bool Contains(const std::string& key) const {
+    return lookup_.find(key) != lookup_.end();
+  }
+
+  void Put(const std::string& key, int value) { lookup_[key] = value; }
+};
+
+}  // namespace paxoscp

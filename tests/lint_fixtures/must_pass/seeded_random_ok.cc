@@ -1,0 +1,18 @@
+// Sanctioned randomness: the explicitly seeded common/random Rng,
+// forked per consumer. Replays bit-identically from the seed.
+#include <cstdint>
+
+namespace paxoscp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  uint64_t Uniform(uint64_t n);
+  Rng Fork();
+};
+
+uint64_t PickBackoff(Rng* rng, uint64_t limit) {
+  return rng->Uniform(limit);
+}
+
+}  // namespace paxoscp

@@ -1,0 +1,19 @@
+// Sanctioned time: virtual microseconds from the simulator, virtual
+// delays through the event queue. Identifiers containing "time"/"clock"
+// as substrings must not trip the wall-clock rule.
+namespace paxoscp {
+
+struct Simulator {
+  long Now() const { return now_; }
+  long now_ = 0;
+};
+
+struct Slot {
+  long time = 0;
+};
+
+long Deadline(const Simulator& sim, long delay) { return sim.Now() + delay; }
+
+long SlotTime(const Slot& slot) { return slot.time; }
+
+}  // namespace paxoscp

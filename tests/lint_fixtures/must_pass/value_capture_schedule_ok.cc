@@ -1,0 +1,30 @@
+// Sanctioned event-queue captures: by value, by shared_ptr, by raw
+// pointer whose lifetime the state object itself guarantees, and init
+// captures that move ownership in. `this` is a pointer copy, not a
+// reference capture.
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace paxoscp {
+
+struct Simulator {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+};
+
+struct State : std::enable_shared_from_this<State> {
+  Simulator* sim;
+  int value = 0;
+
+  void Deliver(std::function<void(int)> cb) {
+    auto keep = shared_from_this();
+    sim->ScheduleAfter(0, [keep, cb = std::move(cb)] { cb(keep->value); });
+  }
+
+  void Tick() {
+    sim->ScheduleAfter(1, [this] { ++value; });
+  }
+};
+
+}  // namespace paxoscp

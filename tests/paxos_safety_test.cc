@@ -61,7 +61,11 @@ wal::LogEntry Value(TxnId id) {
   e.winner_dc = TxnIdDc(id);
   wal::TxnRecord t;
   t.id = id;
-  t.writes.push_back({{"r", "w" + TxnIdToString(id)}, "v"});
+  // += instead of `"w" + TxnIdToString(id)`: GCC 12 -O2 flags the
+  // prepend-into-temporary form with a spurious -Wrestrict.
+  std::string item = "w";
+  item += TxnIdToString(id);
+  t.writes.push_back({{"r", item}, "v"});
   e.txns.push_back(t);
   return e;
 }

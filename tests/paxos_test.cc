@@ -280,9 +280,12 @@ TEST(CombineTest, GreedyBeyondExhaustiveLimit) {
   const wal::LogEntry own = EntryFor(MakeTxnId(0, 1), {}, {"a"});
   std::vector<wal::TxnRecord> candidates;
   for (int i = 0; i < 10; ++i) {
-    candidates.push_back(EntryFor(MakeTxnId(1, 100 + i), {"x"},
-                                  {"y" + std::to_string(i)})
-                             .txns[0]);
+    // += instead of `"y" + std::to_string(i)`: GCC 12 -O2 flags the
+    // prepend-into-temporary form with a spurious -Wrestrict.
+    std::string item = "y";
+    item += std::to_string(i);
+    candidates.push_back(
+        EntryFor(MakeTxnId(1, 100 + i), {"x"}, {item}).txns[0]);
   }
   CombinePolicy policy;
   policy.exhaustive_limit = 4;  // force the greedy path

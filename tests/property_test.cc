@@ -74,7 +74,7 @@ TEST_P(ProtocolSweep, InvariantsHold) {
 
 std::vector<PropertyCase> SweepCases() {
   std::vector<PropertyCase> cases;
-  for (const std::string& cluster : {"VV", "VVV", "VOC", "VVVOC"}) {
+  for (const std::string cluster : {"VV", "VVV", "VOC", "VVVOC"}) {
     for (txn::Protocol protocol :
          {txn::Protocol::kBasicPaxos, txn::Protocol::kPaxosCP}) {
       for (uint64_t seed : {1u, 2u, 3u}) {

@@ -339,7 +339,9 @@ TEST(InterleavingTest, PromotionCapZeroBehavesLikeBasicPlusCombination) {
   const int committed = (r1.committed ? 1 : 0) + (r2.committed ? 1 : 0);
   EXPECT_GE(committed, 1);
   for (auto& r : {r1, r2}) {
-    if (!r.committed) EXPECT_TRUE(r.status.IsAborted());
+    if (!r.committed) {
+      EXPECT_TRUE(r.status.IsAborted());
+    }
     EXPECT_EQ(r.promotions, 0);
   }
 }
