@@ -1,12 +1,16 @@
 // Shared harness for the figure-reproduction benches: the paper's standard
 // workload (§6) — 500 transactions, 10 ops each, 50/50 read-write over a
 // single row, 4 concurrent staggered threads at 1 txn/s each — plus row
-// formatting used by every fig*/table* binary and the `--json <path>`
-// perf-snapshot reporter (schema documented in EXPERIMENTS.md).
+// formatting used by every fig*/table* binary, the `--json <path>`
+// perf-snapshot reporter (schema documented in EXPERIMENTS.md), and the
+// `--shuffle-seed <N>` tie-shuffle knob (design note D12 mode 2) that every
+// PerfReporter-driven bench inherits for schedule-order invariance checks.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -23,12 +27,23 @@ namespace paxoscp::bench {
 
 /// Accumulates name → (ns/op, items/s) entries and writes the repo's
 /// perf-trajectory JSON snapshot ("paxoscp-perf-v1"; see EXPERIMENTS.md).
+/// When the entry came from a workload run, a nested "shape" object records
+/// the run's deterministic outcome counters — everything about the result
+/// EXCEPT wall-clock perf. scripts/shuffle_invariance.py strips the two
+/// perf fields and byte-compares the rest across tie-shuffle seeds, so the
+/// shape object is what makes "snapshots modulo perf" a meaningful claim.
+/// scripts/perf_compare.py reads only ns_per_op and ignores extra keys.
 class PerfJsonWriter {
  public:
   explicit PerfJsonWriter(std::string binary) : binary_(std::move(binary)) {}
 
   void Add(const std::string& name, double ns_per_op, double items_per_s) {
-    entries_.push_back(Entry{name, ns_per_op, items_per_s});
+    entries_.push_back(Entry{name, ns_per_op, items_per_s, false, {}});
+  }
+
+  void Add(const std::string& name, double ns_per_op, double items_per_s,
+           const workload::RunStats& stats) {
+    entries_.push_back(Entry{name, ns_per_op, items_per_s, true, stats});
   }
 
   bool WriteTo(const std::string& path) const {
@@ -39,10 +54,23 @@ class PerfJsonWriter {
     std::fprintf(f, "  \"benchmarks\": {\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
-      std::fprintf(f,
-                   "    \"%s\": {\"ns_per_op\": %.2f, \"items_per_s\": %.2f}%s\n",
-                   Escaped(e.name).c_str(), e.ns_per_op, e.items_per_s,
-                   i + 1 < entries_.size() ? "," : "");
+      std::fprintf(f, "    \"%s\": {\"ns_per_op\": %.2f, \"items_per_s\": %.2f",
+                   Escaped(e.name).c_str(), e.ns_per_op, e.items_per_s);
+      if (e.has_shape) {
+        const workload::RunStats& s = e.stats;
+        std::fprintf(
+            f,
+            ", \"shape\": {\"attempted\": %d, \"committed\": %d, "
+            "\"read_only\": %d, \"aborted\": %d, \"failed\": %d, "
+            "\"combined_entries\": %d, \"cross_attempted\": %d, "
+            "\"cross_committed\": %d, \"cross_aborted\": %d, "
+            "\"check_ok\": %s, \"all_threads_finished\": %s}",
+            s.attempted, s.committed, s.read_only, s.aborted, s.failed,
+            s.combined_entries, s.cross_attempted, s.cross_committed,
+            s.cross_aborted, s.check.ok ? "true" : "false",
+            s.all_threads_finished ? "true" : "false");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
@@ -54,6 +82,8 @@ class PerfJsonWriter {
     std::string name;
     double ns_per_op;
     double items_per_s;
+    bool has_shape;
+    workload::RunStats stats;
   };
 
   static std::string Escaped(const std::string& s) {
@@ -90,6 +120,25 @@ inline std::string TakeJsonPathArg(int* argc, char** argv) {
   return path;
 }
 
+/// Extracts `--shuffle-seed <N>` (or `--shuffle-seed=<N>`) from argv, same
+/// contract as TakeJsonPathArg. Returns 0 (FIFO tie-break, the production
+/// schedule) when the flag is absent.
+inline uint64_t TakeShuffleSeedArg(int* argc, char** argv) {
+  uint64_t seed = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--shuffle-seed") == 0 && i + 1 < *argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--shuffle-seed=", 15) == 0) {
+      seed = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return seed;
+}
+
 /// Wall-clock wrapper around workload::RunExperiment for the fig benches:
 /// each labelled run is recorded as "<label>" → ns per attempted txn and
 /// attempted txns per wall-second. On destruction the snapshot is written
@@ -98,7 +147,13 @@ class PerfReporter {
  public:
   PerfReporter(int* argc, char** argv, std::string binary)
       : json_path_(TakeJsonPathArg(argc, argv)),
-        writer_(std::move(binary)) {}
+        shuffle_seed_(TakeShuffleSeedArg(argc, argv)),
+        writer_(std::move(binary)) {
+    if (shuffle_seed_ != 0) {
+      std::printf("tie-shuffle seed %llu (D12 mode 2)\n",
+                  static_cast<unsigned long long>(shuffle_seed_));
+    }
+  }
 
   ~PerfReporter() {
     if (json_path_.empty()) return;
@@ -120,18 +175,22 @@ class PerfReporter {
   /// fault plan with Cluster::ApplyFaultPlan before the workload starts).
   workload::RunStats Run(const std::string& label, core::Cluster* cluster,
                          const workload::RunnerConfig& config) {
+    // Applied per-run so every cell of a sweep replays under the same
+    // permutation family; seed 0 is a no-op (FIFO).
+    cluster->simulator()->SetTieShuffle(shuffle_seed_);
     const auto start = std::chrono::steady_clock::now();
     workload::RunStats stats = workload::RunExperiment(cluster, config);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     const double txns = stats.attempted > 0 ? stats.attempted : 1;
-    writer_.Add(label, seconds * 1e9 / txns, txns / seconds);
+    writer_.Add(label, seconds * 1e9 / txns, txns / seconds, stats);
     return stats;
   }
 
  private:
   std::string json_path_;
+  uint64_t shuffle_seed_;
   PerfJsonWriter writer_;
 };
 

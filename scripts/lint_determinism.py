@@ -25,6 +25,10 @@ Rules (ids are what LINT:allow annotations name):
   wall-clock            banned wall-clock/time sources in src/
   unseeded-random       banned unseeded randomness sources in src/
   unordered-iter        iteration over an unordered_* container in src/
+  pointer-keyed         std::map/std::set keyed by a raw pointer: the
+                        comparator is the pointer value, so iteration
+                        order tracks allocation addresses (heap layout,
+                        ASLR), not seeded state
   ref-capture-schedule  reference-capturing lambda handed to the event
                         queue or a detached coroutine leg
   discarded-coro        bare `co_await Fn(...);` statement discarding a
@@ -55,6 +59,7 @@ RULES = {
     "wall-clock": "wall-clock/time source outside the simulator",
     "unseeded-random": "randomness source outside seeded common/random",
     "unordered-iter": "iteration over an unordered_* container",
+    "pointer-keyed": "std::map/std::set keyed by a raw pointer",
     "ref-capture-schedule":
         "reference capture handed to the event queue / detached leg",
     "discarded-coro": "co_await discards a non-void Coro<T> result",
@@ -258,6 +263,40 @@ def check_unordered_iter(f):
                        "std::map / sorted snapshot, or justify" % m.group(1))
 
 
+ORDERED_ASSOC_RE = re.compile(r"\b(?:std\s*::\s*)?(?:multi)?(?:map|set)\s*<")
+
+
+def check_pointer_keyed(f):
+    """std::map<T*, ...> / std::set<T*>: ordered by address, not by state.
+
+    The \\b in ORDERED_ASSOC_RE cannot match after '_', so unordered_map /
+    unordered_set (point lookups are fine, iteration is unordered-iter's
+    business) and names like flat_map never reach the key check.
+    """
+    for m in ORDERED_ASSOC_RE.finditer(f.code):
+        # First template argument: scan the balanced argument list up to
+        # the first top-level comma (map) or the closing '>' (set).
+        i, depth, n = m.end(), 1, len(f.code)
+        arg_start = i
+        while i < n and depth > 0:
+            c = f.code[i]
+            if c in "<(":
+                depth += 1
+            elif c in ">)":
+                depth -= 1
+            elif c == "," and depth == 1:
+                break
+            i += 1
+        key = f.code[arg_start:i - (0 if i < n and f.code[i] == "," else 1)]
+        key = " ".join(key.split())
+        if key.endswith("*"):
+            yield (f.line_of_offset(m.start()), "pointer-keyed",
+                   "container keyed by pointer '%s': comparison is the "
+                   "address, so iteration order tracks heap layout/ASLR "
+                   "and breaks seeded replay; key by a stable id (the "
+                   "store instance_id pattern) or justify" % key)
+
+
 TASK_DECL_RE = re.compile(r"\b(?:sim\s*::\s*)?Task\s+([A-Za-z_]\w*)\s*\(")
 SCHEDULE_CALL_RE = re.compile(r"\b(ScheduleAfter|ScheduleAt|OnReady)\s*\(")
 LAMBDA_RE = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^()]*\))?\s*"
@@ -415,6 +454,7 @@ def lint_files(paths):
             f, RANDOM_PATTERNS, "unseeded-random",
             "all randomness must come from the seeded common/random Rng"))
         raw.extend(check_unordered_iter(f))
+        raw.extend(check_pointer_keyed(f))
         raw.extend(check_ref_capture(f, task_fns))
         raw.extend(check_discarded_coro(f, coro_fns))
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Tie-shuffle invariance check for the fig benches (design note D12).
+
+Runs a PerfReporter-driven bench binary once per shuffle seed (seed 0 is
+the production FIFO tie-break) and byte-compares the `--json` snapshots
+modulo the perf fields: `ns_per_op` and `items_per_s` are wall-clock
+measurements and legitimately differ run to run, everything else — the
+benchmark name set and each entry's deterministic "shape" object
+(attempted/committed/aborted/cross counters, checker verdict) — must be
+identical under every same-virtual-time permutation. A divergence means
+the figure's headline shape depends on simulator insertion order, i.e. a
+schedule-order race reached the results layer.
+
+    shuffle_invariance.py ./build/bench/fig_availability \
+        --seeds 0,101,202,303 --workdir /tmp/shuffle_fig
+
+The binary must also exit 0 under every seed (the fig binaries gate their
+own headline shape), so a shuffle that breaks e.g. the availability claim
+fails here even if the snapshot happens to match.
+
+Exit status: 0 invariant, 1 divergence or bench failure, 2 structural
+(missing binary, unreadable snapshot) — mirroring perf_compare.py.
+"""
+
+import argparse
+import difflib
+import json
+import os
+import subprocess
+import sys
+
+
+def die(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+PERF_FIELDS = ("ns_per_op", "items_per_s")
+
+
+def canonical_shape(path):
+    """Loads a paxoscp-perf-v1 snapshot and returns its canonical JSON text
+    with the perf fields stripped."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read snapshot '{path}': {e}")
+    if doc.get("schema") != "paxoscp-perf-v1":
+        die(f"'{path}' has schema {doc.get('schema')!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict):
+        die(f"'{path}' has no 'benchmarks' object")
+    for entry in benches.values():
+        if isinstance(entry, dict):
+            for field in PERF_FIELDS:
+                entry.pop(field, None)
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Byte-compare a bench's --json shape across shuffle seeds."
+    )
+    parser.add_argument("binary", help="bench binary (takes --json/--shuffle-seed)")
+    parser.add_argument(
+        "--seeds",
+        default="0,101,202,303",
+        help="comma-separated shuffle seeds; the first is the baseline",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for snapshots and logs (default: alongside ctest cwd)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.isfile(args.binary):
+        die(f"bench binary '{args.binary}' does not exist")
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+    if len(seeds) < 2:
+        die("need at least a baseline seed and one shuffle seed")
+
+    name = os.path.basename(args.binary)
+    workdir = args.workdir or f"shuffle_{name}"
+    os.makedirs(workdir, exist_ok=True)
+
+    shapes = {}
+    failed = False
+    for seed in seeds:
+        snapshot = os.path.join(workdir, f"{name}_seed{seed}.json")
+        log_path = os.path.join(workdir, f"{name}_seed{seed}.log")
+        cmd = [args.binary, "--json", snapshot, f"--shuffle-seed={seed}"]
+        with open(log_path, "w", encoding="utf-8") as log:
+            proc = subprocess.run(cmd, stdout=log, stderr=subprocess.STDOUT)
+        if proc.returncode != 0:
+            print(
+                f"FAIL: {name} --shuffle-seed={seed} exited "
+                f"{proc.returncode} (its own shape gate tripped; see "
+                f"{log_path})"
+            )
+            failed = True
+            continue
+        shapes[seed] = canonical_shape(snapshot)
+
+    base_seed = seeds[0]
+    if base_seed in shapes:
+        for seed in seeds[1:]:
+            if seed not in shapes:
+                continue
+            if shapes[seed] == shapes[base_seed]:
+                print(f"seed {seed}: shape identical to seed {base_seed}")
+                continue
+            failed = True
+            print(f"DIVERGENCE: seed {seed} shape differs from seed {base_seed}:")
+            diff = difflib.unified_diff(
+                shapes[base_seed].splitlines(keepends=True),
+                shapes[seed].splitlines(keepends=True),
+                fromfile=f"seed {base_seed}",
+                tofile=f"seed {seed}",
+            )
+            sys.stdout.writelines(diff)
+
+    if failed:
+        print(f"\n{name}: tie-shuffle invariance FAILED (artifacts in {workdir})")
+        return 1
+    print(
+        f"\n{name}: headline shape invariant across shuffle seeds "
+        f"{', '.join(str(s) for s in seeds)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,7 @@ bool GetFixed64(std::string_view* input, uint64_t* value) {
 bool GetVarint64(std::string_view* input, uint64_t* value) {
   uint64_t result = 0;
   for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
-    uint64_t byte = static_cast<unsigned char>(input->front());
+    const uint64_t byte = static_cast<unsigned char>(input->front());
     input->remove_prefix(1);
     if (byte & 0x80) {
       result |= (byte & 0x7f) << shift;

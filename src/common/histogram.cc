@@ -19,7 +19,7 @@ const std::vector<int64_t>& BucketLimits() {
     int64_t v = 1;
     while (static_cast<int>(limits.size()) < Histogram::kNumBuckets) {
       limits.push_back(v);
-      int64_t mid = v + v / 2;
+      const int64_t mid = v + v / 2;
       if (mid > v &&
           static_cast<int>(limits.size()) < Histogram::kNumBuckets) {
         limits.push_back(mid);

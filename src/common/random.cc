@@ -46,7 +46,7 @@ uint64_t Rng::Uniform(uint64_t n) {
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0 - n) % n;
   for (;;) {
-    uint64_t r = Next();
+    const uint64_t r = Next();
     if (r >= threshold) return r % n;
   }
 }
@@ -88,11 +88,11 @@ ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
 }
 
 uint64_t ZipfianGenerator::Next(Rng* rng) {
-  double u = rng->NextDouble();
-  double uz = u * zetan_;
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
   if (uz < 1.0) return 0;
   if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
-  uint64_t v = static_cast<uint64_t>(
+  const uint64_t v = static_cast<uint64_t>(
       double(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
   return v >= n_ ? n_ - 1 : v;
 }

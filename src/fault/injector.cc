@@ -19,7 +19,8 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   sim::Simulator* sim = network_->simulator();
   for (const FaultEvent& event : plan.events) {
     assert(event.at >= 0);
-    sim->ScheduleAfter(event.at, [this, event] { Apply(event); });
+    sim->ScheduleAfter(event.at, [this, event] { Apply(event); },
+                       "fault/apply");
   }
 }
 

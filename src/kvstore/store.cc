@@ -1,6 +1,7 @@
 #include "kvstore/store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace paxoscp::kvstore {
@@ -14,6 +15,11 @@ std::string KeyMessage(const char* prefix, std::string_view key) {
 }
 
 }  // namespace
+
+uint64_t MultiVersionStore::NextInstanceId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 const RowVersion* MultiVersionStore::FindVersion(const VersionChain& chain,
                                                  Timestamp timestamp) {
@@ -39,6 +45,9 @@ MultiVersionStore::VersionChain& MultiVersionStore::ChainFor(
 Result<RowVersion> MultiVersionStore::Read(std::string_view key,
                                            Timestamp timestamp) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"kv", instance_id_, key});
+  }
   auto it = rows_.find(key);
   if (it == rows_.end()) return Status::NotFound(KeyMessage("no such key: ", key));
   const RowVersion* v = FindVersion(it->second, timestamp);
@@ -60,6 +69,9 @@ Result<AttrView> MultiVersionStore::ReadAttrView(std::string_view key,
                                                  std::string_view attribute,
                                                  Timestamp timestamp) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"kv", instance_id_, key});
+  }
   auto it = rows_.find(key);
   if (it == rows_.end()) return Status::NotFound(KeyMessage("no such key: ", key));
   const RowVersion* v = FindVersion(it->second, timestamp);
@@ -76,6 +88,9 @@ Result<AttrView> MultiVersionStore::ReadAttrView(std::string_view key,
 Status MultiVersionStore::Write(std::string_view key, AttributeMap attributes,
                                 Timestamp timestamp) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"kv", instance_id_, key});
+  }
   VersionChain& chain = ChainFor(key);
   Timestamp ts = timestamp;
   if (ts == kLatestTimestamp) {
@@ -95,6 +110,9 @@ Status MultiVersionStore::CheckAndWrite(std::string_view key,
                                         std::string_view test_value,
                                         AttributeMap attributes) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"kv", instance_id_, key});
+  }
   std::string_view current;  // missing row/attribute reads as ""
   VersionChain& chain = ChainFor(key);
   if (!chain.empty()) {
@@ -124,6 +142,9 @@ Status MultiVersionStore::MergeWrite(std::string_view key,
                                      const AttributeMap& updates,
                                      Timestamp timestamp) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"kv", instance_id_, key});
+  }
   VersionChain& chain = ChainFor(key);
   if (!chain.empty() && chain.back().timestamp >= timestamp) {
     // Idempotent replay: the log applier may re-apply a position after a
@@ -152,12 +173,18 @@ Status MultiVersionStore::MergeWrite(std::string_view key,
 
 bool MultiVersionStore::Contains(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"kv", instance_id_, key});
+  }
   auto it = rows_.find(key);
   return it != rows_.end() && !it->second.empty();
 }
 
 size_t MultiVersionStore::VersionCount(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"kv", instance_id_, key});
+  }
   auto it = rows_.find(key);
   return it == rows_.end() ? 0 : it->second.size();
 }
@@ -165,6 +192,9 @@ size_t MultiVersionStore::VersionCount(std::string_view key) const {
 size_t MultiVersionStore::TruncateVersions(std::string_view key,
                                            Timestamp watermark) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"kv", instance_id_, key});
+  }
   auto it = rows_.find(key);
   if (it == rows_.end()) return 0;
   VersionChain& chain = it->second;
@@ -191,6 +221,9 @@ size_t MultiVersionStore::TruncateAllVersions(Timestamp watermark) {
 std::vector<std::string> MultiVersionStore::KeysWithPrefix(
     std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"kv", instance_id_, "prefix", prefix});
+  }
   std::vector<std::string> out;
   for (auto it = rows_.lower_bound(prefix); it != rows_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix.data(), prefix.size()) !=

@@ -35,6 +35,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "sim/race_hooks.h"
 
 namespace paxoscp::kvstore {
 
@@ -67,6 +68,11 @@ class MultiVersionStore {
   MultiVersionStore() = default;
   MultiVersionStore(const MultiVersionStore&) = delete;
   MultiVersionStore& operator=(const MultiVersionStore&) = delete;
+
+  /// Process-wide construction ordinal: the store discriminator in race-
+  /// detector cell names ("kv/<id>/<key>", design note D12). Deliberately
+  /// NOT the object's address — cell names must be identical across runs.
+  uint64_t instance_id() const { return instance_id_; }
 
   /// Reads the most recent version of `key` with timestamp <= `timestamp`.
   /// kLatestTimestamp reads the newest version. NotFound if no such version.
@@ -140,6 +146,9 @@ class MultiVersionStore {
   /// Chain for `key`, created empty on first use (callers hold mu_).
   VersionChain& ChainFor(std::string_view key);
 
+  static uint64_t NextInstanceId();
+
+  const uint64_t instance_id_ = NextInstanceId();
   mutable std::mutex mu_;
   std::map<std::string, VersionChain, std::less<>> rows_;
 };

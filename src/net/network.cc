@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "sim/race_hooks.h"
 
 namespace paxoscp::net {
 
@@ -60,6 +61,9 @@ Network::Network(sim::Simulator* sim,
 
 void Network::RegisterEndpoint(DcId dc, ServiceHandler handler) {
   assert(dc >= 0 && dc < num_datacenters());
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"net", "endpoint", dc});
+  }
   handlers_[dc] = std::move(handler);
 }
 
@@ -68,6 +72,12 @@ TimeMicros Network::SampleDelayFrom(Rng* rng, DcId from, DcId to) {
   if (options_.latency_jitter <= 0 || one_way == 0) {
     return std::max<TimeMicros>(one_way, 1);
   }
+  // A consequential draw mutates the shared stream: two same-time events
+  // both sampling here observe swapped values under a tie reorder.
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite,
+                      {rng == &rng_ ? "net/rng" : "net/fault-rng"});
+  }
   const double j = (rng->NextDouble() * 2 - 1) * options_.latency_jitter;
   const auto delayed = static_cast<TimeMicros>(
       static_cast<double>(one_way) * (1.0 + j));
@@ -75,14 +85,30 @@ TimeMicros Network::SampleDelayFrom(Rng* rng, DcId from, DcId to) {
 }
 
 bool Network::ShouldDropFrom(Rng* rng, DcId from, DcId to) {
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kRead, {"net", "dc", from});
+    sim::race::Record(sim::race::AccessKind::kRead, {"net", "dc", to});
+    sim::race::Record(sim::race::AccessKind::kRead, {"net", "link", from, to});
+  }
   if (dc_down_[from] || dc_down_[to]) return true;
   if (link_down_[from][to]) return true;
-  if (from != to && rng->Bernoulli(options_.loss_probability)) return true;
+  if (from != to && options_.loss_probability > 0) {
+    // The Bernoulli below consumes a draw (Bernoulli(0) never does, so the
+    // restructuring preserves the stream position of loss-free runs).
+    if (sim::race::Active()) {
+      sim::race::Record(sim::race::AccessKind::kWrite,
+                        {rng == &rng_ ? "net/rng" : "net/fault-rng"});
+    }
+    if (rng->Bernoulli(options_.loss_probability)) return true;
+  }
   return false;
 }
 
 TimeMicros Network::MaybeReorderExtra(DcId from, DcId to) {
   if (options_.reorder_probability <= 0 || from == to) return 0;
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"net/fault-rng"});
+  }
   if (!fault_rng_.Bernoulli(options_.reorder_probability)) return 0;
   ++messages_reordered_;
   const TimeMicros max_extra =
@@ -102,9 +128,12 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
   sim::Promise<CallResult> promise(sim_);
 
   // Timeout: fires unless a response won the race first.
-  sim_->ScheduleAfter(timeout, [promise] {
-    promise.Set(CallResult{Status::TimedOut("rpc timeout"), {}});
-  });
+  sim_->ScheduleAfter(
+      timeout,
+      [promise] {
+        promise.Set(CallResult{Status::TimedOut("rpc timeout"), {}});
+      },
+      "net/timeout");
 
   // Request leg.
   ++messages_sent_;
@@ -116,11 +145,18 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
       SampleDelay(from, to) + MaybeReorderExtra(from, to);
   const uint64_t request_epoch = ChannelEpoch(from, to);
   sim_->ScheduleAfter(
-      request_delay, [this, from, to, promise, request_epoch,
-                      request = request]() mutable {
+      request_delay,
+      [this, from, to, promise, request_epoch, request = request]() mutable {
         // Delivery-time check: drop if the destination is down, or if it
         // (or the link traversed) went down at any point while the message
         // was in flight — a heal before arrival does not resurrect it.
+        if (sim::race::Active()) {
+          sim::race::Record(sim::race::AccessKind::kRead, {"net", "dc", to});
+          sim::race::Record(sim::race::AccessKind::kRead,
+                            {"net", "link", from, to});
+          sim::race::Record(sim::race::AccessKind::kRead,
+                            {"net", "endpoint", to});
+        }
         if (dc_down_[to] || ChannelEpoch(from, to) != request_epoch) {
           ++messages_dropped_;
           return;
@@ -147,6 +183,12 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
                          response_delay,
                          [this, from, to, promise, response_epoch,
                           response = std::move(response)]() mutable {
+                           if (sim::race::Active()) {
+                             sim::race::Record(sim::race::AccessKind::kRead,
+                                               {"net", "dc", from});
+                             sim::race::Record(sim::race::AccessKind::kRead,
+                                               {"net", "link", to, from});
+                           }
                            if (dc_down_[from] ||
                                ChannelEpoch(to, from) != response_epoch) {
                              ++messages_dropped_;
@@ -154,19 +196,25 @@ sim::Future<CallResult> Network::Call(DcId from, DcId to,
                            }
                            promise.Set(CallResult{Status::OK(),
                                                   std::move(response)});
-                         });
+                         },
+                         "net/response-leg");
         };
         RunHandler(context);
-      });
+      },
+      "net/request-leg");
 
   // Duplicate-delivery fault: with probability duplicate_probability (fault
   // stream), the request also arrives a second time, a little behind the
   // original. The destination handler runs twice — exactly the re-delivered
   // prepare/decide/apply the 2PC records must tolerate.
-  if (options_.duplicate_probability > 0 && from != to &&
-      fault_rng_.Bernoulli(options_.duplicate_probability)) {
-    ScheduleDuplicateRequest(from, to, request_delay, request_epoch, request,
-                             promise);
+  if (options_.duplicate_probability > 0 && from != to) {
+    if (sim::race::Active()) {
+      sim::race::Record(sim::race::AccessKind::kWrite, {"net/fault-rng"});
+    }
+    if (fault_rng_.Bernoulli(options_.duplicate_probability)) {
+      ScheduleDuplicateRequest(from, to, request_delay, request_epoch, request,
+                               promise);
+    }
   }
   return promise.GetFuture();
 }
@@ -192,8 +240,15 @@ void Network::ScheduleDuplicateRequest(DcId from, DcId to,
   const TimeMicros delay =
       original_delay + 1 +
       static_cast<TimeMicros>(fault_rng_.Uniform(static_cast<uint64_t>(max_lag)));
-  sim_->ScheduleAfter(delay, [this, from, to, promise, request_epoch,
-                              request = request]() mutable {
+  sim_->ScheduleAfter(
+      delay,
+      [this, from, to, promise, request_epoch, request = request]() mutable {
+    if (sim::race::Active()) {
+      sim::race::Record(sim::race::AccessKind::kRead, {"net", "dc", to});
+      sim::race::Record(sim::race::AccessKind::kRead,
+                        {"net", "link", from, to});
+      sim::race::Record(sim::race::AccessKind::kRead, {"net", "endpoint", to});
+    }
     if (dc_down_[to] || ChannelEpoch(from, to) != request_epoch) {
       ++messages_dropped_;
       return;
@@ -218,17 +273,26 @@ void Network::ScheduleDuplicateRequest(DcId from, DcId to,
       const TimeMicros response_delay = SampleDelayFrom(&fault_rng_, to, from);
       const uint64_t response_epoch = ChannelEpoch(to, from);
       sim_->ScheduleAfter(
-          response_delay, [this, from, to, promise, response_epoch,
-                           response = std::move(response)]() mutable {
+          response_delay,
+          [this, from, to, promise, response_epoch,
+           response = std::move(response)]() mutable {
+            if (sim::race::Active()) {
+              sim::race::Record(sim::race::AccessKind::kRead,
+                                {"net", "dc", from});
+              sim::race::Record(sim::race::AccessKind::kRead,
+                                {"net", "link", to, from});
+            }
             if (dc_down_[from] || ChannelEpoch(to, from) != response_epoch) {
               ++messages_dropped_;
               return;
             }
             promise.Set(CallResult{Status::OK(), std::move(response)});
-          });
+          },
+          "net/dup-response");
     };
     RunHandler(context);
-  });
+  },
+      "net/dup-request");
 }
 
 sim::Future<BroadcastResult> Network::Broadcast(
@@ -269,7 +333,8 @@ sim::Future<BroadcastResult> Network::Broadcast(
             if (options.grace <= 0) {
               finish();
             } else {
-              sim_->ScheduleAfter(options.grace, finish);
+              sim_->ScheduleAfter(options.grace, finish,
+                                  "net/broadcast-grace");
             }
           }
         });
@@ -279,6 +344,9 @@ sim::Future<BroadcastResult> Network::Broadcast(
 
 void Network::SetDatacenterDown(DcId dc, bool down) {
   assert(dc >= 0 && dc < num_datacenters());
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"net", "dc", dc});
+  }
   if (down && !dc_down_[dc]) ++dc_epoch_[dc];
   dc_down_[dc] = down;
 }
@@ -291,6 +359,9 @@ void Network::SetLinkDown(DcId a, DcId b, bool down) {
 void Network::SetLinkOneWayDown(DcId from, DcId to, bool down) {
   assert(from >= 0 && from < num_datacenters());
   assert(to >= 0 && to < num_datacenters());
+  if (sim::race::Active()) {
+    sim::race::Record(sim::race::AccessKind::kWrite, {"net", "link", from, to});
+  }
   if (down && !link_down_[from][to]) ++link_epoch_[from][to];
   link_down_[from][to] = down;
 }

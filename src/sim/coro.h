@@ -45,7 +45,7 @@ namespace internal {
 inline void DestroyFrameDeferred(std::coroutine_handle<> h) {
   if (!h) return;
   if (Simulator* sim = Simulator::Current()) {
-    sim->ScheduleAfter(0, [h] { h.destroy(); });
+    sim->ScheduleAfter(0, [h] { h.destroy(); }, "coro/frame-destroy");
   } else {
     h.destroy();
   }
@@ -184,6 +184,10 @@ struct FutureState {
   std::coroutine_handle<> waiter;
   std::function<void(T&&)> callback;
   bool delivered = false;
+  /// Seq of the event in which the waiter suspended (or the callback was
+  /// registered): the source of the promise-completion happens-before
+  /// edge to the resume/delivery event (race detector, D12).
+  uint64_t origin_seq = kNoEventSeq;
 
   void Set(T v) {
     if (value.has_value()) return;  // first-wins
@@ -197,7 +201,8 @@ struct FutureState {
       delivered = true;
       auto h = waiter;
       waiter = nullptr;
-      sim->ScheduleAfter(0, [h] { h.resume(); });
+      sim->ScheduleAfter(0, [h] { h.resume(); }, "future/resume");
+      sim->NoteEdgeToLastScheduled(origin_seq);
     } else if (callback) {
       delivered = true;
       auto cb = std::move(callback);
@@ -208,7 +213,8 @@ struct FutureState {
       auto* self = this;
       sim->ScheduleAfter(0, [cb = std::move(cb), self] {
         cb(std::move(*self->value));
-      });
+      }, "future/callback");
+      sim->NoteEdgeToLastScheduled(origin_seq);
     }
   }
 };
@@ -233,6 +239,7 @@ class Future {
   void await_suspend(std::coroutine_handle<> h) {
     assert(!state_->waiter && !state_->callback && "future already awaited");
     state_->waiter = h;
+    state_->origin_seq = state_->sim->CurrentEventSeq();
   }
   T await_resume() {
     state_->delivered = true;
@@ -245,6 +252,7 @@ class Future {
     state_->callback = [keep = state_, cb = std::move(cb)](T&& v) mutable {
       cb(std::move(v));
     };
+    state_->origin_seq = state_->sim->CurrentEventSeq();
     state_->MaybeDeliver();
   }
 
@@ -290,6 +298,9 @@ struct JoinCore {
   bool armed = false;
   bool delivered = false;
   std::coroutine_handle<> waiter;
+  /// Seq of the event in which the waiter suspended — promise-completion
+  /// edge source for the join's resume event (race detector, D12).
+  uint64_t waiter_seq = kNoEventSeq;
   std::optional<Promise<bool>> done;
 
   void AddDependency() { ++remaining; }
@@ -306,7 +317,8 @@ struct JoinCore {
     if (waiter) {
       auto h = waiter;
       waiter = nullptr;
-      sim->ScheduleAfter(0, [h] { h.resume(); });
+      sim->ScheduleAfter(0, [h] { h.resume(); }, "join/resume");
+      sim->NoteEdgeToLastScheduled(waiter_seq);
     } else if (done.has_value()) {
       done->Set(true);  // first-wins: a racing timeout may already have won
     }
@@ -412,6 +424,7 @@ class [[nodiscard]] WhenAll {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
     core_->waiter = h;
+    core_->waiter_seq = core_->sim->CurrentEventSeq();
     Arm();
   }
   void await_resume() noexcept {}
@@ -452,6 +465,7 @@ class [[nodiscard]] Gather {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
     state_->core.waiter = h;
+    state_->core.waiter_seq = state_->core.sim->CurrentEventSeq();
     state_->core.armed = true;
     for (size_t i = 0; i < pending_.size(); ++i) {
       internal::RunGatherChild<T>(std::move(pending_[i]), state_, i);
@@ -480,7 +494,7 @@ struct SleepFor {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
-    sim_->ScheduleAfter(delay_, [h] { h.resume(); });
+    sim_->ScheduleAfter(delay_, [h] { h.resume(); }, "sim/sleep");
   }
   void await_resume() const noexcept {}
 

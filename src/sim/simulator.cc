@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/race_detector.h"
+
 namespace paxoscp::sim {
 
 namespace {
+
 thread_local Simulator* t_current_simulator = nullptr;
+
+/// splitmix64 finalizer: the bit mixer behind the tie-shuffle permutation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Simulator::Simulator() : previous_current_(t_current_simulator) {
@@ -21,7 +33,30 @@ bool Simulator::SlotLess(uint32_t a, uint32_t b) const {
   const Slot& x = slots_[a];
   const Slot& y = slots_[b];
   if (x.time != y.time) return x.time < y.time;
+  if (shuffle_seed_ != 0 && x.time < shuffle_horizon_) {
+    // Tie-shuffle exploration (D12): equal-time events are ordered by a
+    // per-(seed, time) pseudo-random permutation of their seqs instead of
+    // FIFO. Any run-level divergence under a different seed is a real
+    // schedule-order race.
+    const uint64_t kx = ShuffleKey(x.time, x.seq);
+    const uint64_t ky = ShuffleKey(y.time, y.seq);
+    if (kx != ky) return kx < ky;
+  }
   return x.seq < y.seq;  // FIFO among equal timestamps
+}
+
+uint64_t Simulator::ShuffleKey(TimeMicros time, uint64_t seq) const {
+  return Mix64(shuffle_seed_ ^ Mix64(static_cast<uint64_t>(time)) ^
+               (seq * 0x9e3779b97f4a7c15ULL));
+}
+
+void Simulator::SetTieShuffle(uint64_t seed, TimeMicros horizon) {
+  shuffle_seed_ = seed;
+  shuffle_horizon_ = horizon;
+  // The order predicate changed: rebuild the pending heap. std::make_heap
+  // builds a max-heap w.r.t. its comparator, so invert SlotLess.
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [this](uint32_t a, uint32_t b) { return SlotLess(b, a); });
 }
 
 void Simulator::HeapPush(uint32_t slot) {
@@ -74,12 +109,14 @@ void Simulator::FreeSlot(uint32_t index) {
   free_head_ = index;
 }
 
-EventId Simulator::ScheduleAt(TimeMicros when, EventFn fn) {
+EventId Simulator::ScheduleAt(TimeMicros when, EventFn fn, const char* tag) {
   const uint32_t index = AllocSlot();
   Slot& s = slots_[index];
   s.time = std::max(when, now_);
   s.seq = next_seq_++;
   s.fn = std::move(fn);
+  s.tag = tag;
+  s.parent_seq = current_event_seq_;
   s.in_use = true;
   s.cancelled = false;
   HeapPush(index);
@@ -87,8 +124,14 @@ EventId Simulator::ScheduleAt(TimeMicros when, EventFn fn) {
   return MakeId(s.generation, index);
 }
 
-EventId Simulator::ScheduleAfter(TimeMicros delay, EventFn fn) {
-  return ScheduleAt(now_ + std::max<TimeMicros>(delay, 0), std::move(fn));
+EventId Simulator::ScheduleAfter(TimeMicros delay, EventFn fn,
+                                 const char* tag) {
+  return ScheduleAt(now_ + std::max<TimeMicros>(delay, 0), std::move(fn), tag);
+}
+
+void Simulator::NoteEdgeToLastScheduledSlow(uint64_t from_seq) {
+  if (from_seq == kNoEventSeq || next_seq_ == 0) return;
+  race_detector_->AddEdge(from_seq, next_seq_ - 1);
 }
 
 void Simulator::Cancel(EventId id) {
@@ -123,6 +166,9 @@ bool Simulator::Step() {
   ++executed_;
   --live_;
   EventFn fn = std::move(s.fn);
+  const uint64_t seq = s.seq;
+  const char* tag = s.tag;
+  const uint64_t parent_seq = s.parent_seq;
   // Free before running: the callback may schedule (and even cancel) new
   // events, which can recycle this slot under a fresh generation.
   FreeSlot(index);
@@ -130,7 +176,19 @@ bool Simulator::Step() {
   // another Simulator was constructed more recently on this thread.
   Simulator* prev = t_current_simulator;
   t_current_simulator = this;
+  const uint64_t prev_seq = current_event_seq_;
+  current_event_seq_ = seq;
+  // Publish this simulator's detector (usually nullptr) for the duration
+  // of the callback so sim::race hooks attribute accesses to this event —
+  // and so a nested simulator's accesses never leak into an outer one.
+  RaceDetector* prev_detector = race::g_active_detector;
+  race::g_active_detector = race_detector_;
+  if (race_detector_ != nullptr) {
+    race_detector_->OnEventBegin(seq, now_, tag, parent_seq);
+  }
   fn();
+  race::g_active_detector = prev_detector;
+  current_event_seq_ = prev_seq;
   t_current_simulator = prev;
   return true;
 }

@@ -178,7 +178,8 @@ sim::Coro<ServiceResponse> TransactionService::HandleApply(
     const ApplyRequest* request) {
   co_await sim::SleepFor(network_->simulator(), model_.apply);
   GroupState* gs = Group(request->group);
-  Status s = gs->acceptor.OnApply(request->pos, request->ballot, request->value);
+  const Status s =
+      gs->acceptor.OnApply(request->pos, request->ballot, request->value);
   if (s.ok()) {
     NoteEntryLanded(request->group);
   } else {
@@ -234,7 +235,8 @@ void TransactionService::StartBackgroundApplier(TimeMicros interval,
   if (!was_running && interval > 0) {
     const uint64_t generation = ++applier_generation_;
     network_->simulator()->ScheduleAfter(
-        interval, [this, generation] { BackgroundApplyTick(generation); });
+        interval, [this, generation] { BackgroundApplyTick(generation); },
+        "txn/applier-tick");
   }
 }
 
@@ -248,7 +250,7 @@ void TransactionService::BackgroundApplyTick(uint64_t generation) {
     // cross-group prepares, which hold the watermark) are left for the
     // read-path learner (the background process never runs Paxos).
     LogPos missing = 0;
-    Status s = gs->log.ApplyThrough(gs->log.MaxDecided(), &missing);
+    const Status s = gs->log.ApplyThrough(gs->log.MaxDecided(), &missing);
     (void)s;  // FailedPrecondition on a gap is expected and fine
     ++background_applies_;
     if (gc_keep_versions_ >= 0) {
@@ -261,7 +263,8 @@ void TransactionService::BackgroundApplyTick(uint64_t generation) {
   }
   network_->simulator()->ScheduleAfter(
       applier_interval_,
-      [this, generation] { BackgroundApplyTick(generation); });
+      [this, generation] { BackgroundApplyTick(generation); },
+      "txn/applier-tick");
 }
 
 // ------------------------------------------- recovery daemon (D10)
@@ -317,9 +320,11 @@ void TransactionService::ArmRecoveryTimer(const std::string& group, TxnId id,
                                           int attempt, TimeMicros delay) {
   const uint64_t generation = recovery_generation_;
   network_->simulator()->ScheduleAfter(
-      std::max<TimeMicros>(delay, 1), [this, group, id, attempt, generation] {
+      std::max<TimeMicros>(delay, 1),
+      [this, group, id, attempt, generation] {
         RecoveryTimerFired(group, id, attempt, generation);
-      });
+      },
+      "txn/recovery-timer");
 }
 
 void TransactionService::RecoveryTimerFired(const std::string& group,
@@ -388,7 +393,7 @@ sim::Task TransactionService::DriveRecovery(std::string group, TxnId id,
         }
       }
       if (to_learn == 0) break;
-      Status learned = co_await LearnEntry(group, to_learn);
+      const Status learned = co_await LearnEntry(group, to_learn);
       if (!learned.ok()) break;
     }
   }

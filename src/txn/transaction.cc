@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include <algorithm>
+
 namespace paxoscp::txn {
 
 const char* ProtocolName(Protocol protocol) {
@@ -32,6 +34,15 @@ wal::TxnRecord ActiveTxn::ToRecord(DcId origin_dc) const {
   record.origin_dc = origin_dc;
   record.read_pos = read_pos;
   record.reads = reads;
+  // Canonical item order: the read-set is a set (conflict checks are
+  // membership-only), but the parallel read fan-out appends entries in
+  // response-arrival order, which would leak schedule order into the
+  // record's encoding and hence the Paxos value identity. Writes keep
+  // program order — apply order is list order.
+  std::sort(record.reads.begin(), record.reads.end(),
+            [](const wal::ReadRecord& a, const wal::ReadRecord& b) {
+              return a.item < b.item;
+            });
   record.writes.reserve(writes.size());
   for (const auto& [item, value] : writes) {
     record.writes.push_back(wal::WriteRecord{item, value});

@@ -279,7 +279,7 @@ sim::Coro<void> RecoverOneTail(core::Cluster* cluster, std::string group,
   txn::TransactionService* service = cluster->service(dc);
   for (LogPos pos = 1;; ++pos) {
     if (service->GroupLog(group)->HasEntry(pos)) continue;
-    Status learned = co_await service->LearnEntry(group, pos);
+    const Status learned = co_await service->LearnEntry(group, pos);
     if (learned.ok()) continue;
     if (pos > service->GroupLog(group)->MaxDecided()) {
       break;  // undecided tail (or unhealed partition)
@@ -311,7 +311,8 @@ sim::Task RecoverDecidedTail(RunContext* ctx) {
 /// would do before serving reads past the prepare.
 sim::Coro<void> RecoverOneCross(txn::TransactionClient* recovery_client,
                                 std::string group, TxnId id) {
-  Status resolved = co_await recovery_client->RecoverCrossTxn(group, id);
+  const Status resolved =
+      co_await recovery_client->RecoverCrossTxn(group, id);
   if (!resolved.ok()) {
     PAXOSCP_LOG(kWarn) << "cross recovery of " << TxnIdToString(id) << " in "
                        << group << ": " << resolved.ToString();
@@ -418,7 +419,7 @@ RunStats RunExperiment(core::Cluster* cluster, const RunnerConfig& config) {
 
   Rng seeds(config.seed ^ 0x9e3779b97f4a7c15ULL);
   const int per_thread = config.total_txns / config.num_threads;
-  int remainder = config.total_txns % config.num_threads;
+  const int remainder = config.total_txns % config.num_threads;
   cluster->network()->ResetStats();
   const TimeMicros start = cluster->simulator()->Now();
   ctx->run_start = start;

@@ -1,0 +1,26 @@
+// EXPECT: pointer-keyed
+// A std::map keyed by a raw pointer compares addresses: iteration visits
+// waiters in allocation order, which tracks heap layout and ASLR rather
+// than anything in the seeded state. Replays across toolchains diverge
+// the first time the visit order matters.
+#include <map>
+
+namespace paxoscp {
+
+struct Waiter {
+  int priority = 0;
+};
+
+struct WaitQueue {
+  std::map<Waiter*, int> deadlines_;
+
+  int Next() const {
+    int best = -1;
+    for (const auto& [waiter, deadline] : deadlines_) {
+      if (best < 0 || deadline < best) best = deadline;
+    }
+    return best;
+  }
+};
+
+}  // namespace paxoscp

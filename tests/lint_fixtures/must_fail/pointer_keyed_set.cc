@@ -1,0 +1,20 @@
+// EXPECT: pointer-keyed
+// Same hazard as the map fixture, through std::set and a const pointer:
+// the element order IS the address order.
+#include <set>
+
+namespace paxoscp {
+
+struct Session {
+  int id = 0;
+};
+
+struct Registry {
+  std::set<const Session*> live_;
+
+  const Session* First() const {
+    return live_.empty() ? nullptr : *live_.begin();
+  }
+};
+
+}  // namespace paxoscp

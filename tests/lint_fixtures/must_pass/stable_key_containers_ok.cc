@@ -1,0 +1,38 @@
+// Sanctioned shapes next to the pointer-keyed rule's hazard: pointers as
+// VALUES are fine (iteration order comes from the key), value keys are
+// fine, an unordered map keyed by pointer is fine for point lookups
+// (iterating it is unordered-iter's business), and a pointer key under a
+// justified LINT:allow is accepted.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace paxoscp {
+
+struct Slot {
+  int value = 0;
+};
+
+struct Table {
+  std::map<uint64_t, Slot*> by_id_;         // pointer value, stable key
+  std::set<std::string> names_;             // value key
+  std::unordered_map<Slot*, int> lookup_;   // point lookups only
+
+  // LINT:allow(pointer-keyed): ordering is never observed — the map is
+  // drained via find/erase by exact handle, one element at a time.
+  std::map<Slot*, int> handles_;
+
+  int Find(Slot* s) const {
+    auto it = lookup_.find(s);
+    return it == lookup_.end() ? -1 : it->second;
+  }
+
+  Slot* ById(uint64_t id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+};
+
+}  // namespace paxoscp
